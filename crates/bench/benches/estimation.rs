@@ -1,0 +1,97 @@
+//! Estimator latency benchmarks.
+//!
+//! The paper stresses that its estimators are closed-form or cheap
+//! one-dimensional optimizations ("5 logarithm evaluations" per likelihood
+//! step, §3.2). These benchmarks quantify the cost of:
+//!
+//! * cardinality estimation: simple (12), corrected (18), ML;
+//! * joint estimation: the Brent-based ML estimator, the closed form (17)
+//!   for MinHash, and inclusion–exclusion (which pays an extra merge +
+//!   estimate).
+
+use bench::{bench_elements, BENCH_M};
+use criterion::{criterion_group, criterion_main, Criterion};
+use minhash::MinHash;
+use setsketch::{SetSketch1, SetSketchConfig};
+use sketch_math::{ml_jaccard, ml_jaccard_b1, JointCounts};
+
+fn prepared_sketches(b: f64) -> (SetSketch1, SetSketch1) {
+    let q = if b == 2.0 { 62 } else { (1 << 16) - 2 };
+    let cfg = SetSketchConfig::new(BENCH_M, b, 20.0, q).expect("valid");
+    let mut u = SetSketch1::new(cfg, 7);
+    let mut v = SetSketch1::new(cfg, 7);
+    u.extend(bench_elements(1, 50_000));
+    u.extend(bench_elements(3, 50_000));
+    v.extend(bench_elements(2, 50_000));
+    v.extend(bench_elements(3, 50_000));
+    (u, v)
+}
+
+fn bench_cardinality_estimators(c: &mut Criterion) {
+    let mut group = c.benchmark_group("cardinality_estimation");
+    for &b in &[2.0f64, 1.001] {
+        let (u, _) = prepared_sketches(b);
+        group.bench_function(format!("simple/b{b}"), |bencher| {
+            bencher.iter(|| u.estimate_cardinality_simple())
+        });
+        group.bench_function(format!("corrected/b{b}"), |bencher| {
+            bencher.iter(|| u.estimate_cardinality())
+        });
+        group.bench_function(format!("ml/b{b}"), |bencher| {
+            bencher.iter(|| u.estimate_cardinality_ml())
+        });
+    }
+    group.finish();
+}
+
+fn bench_joint_estimators(c: &mut Criterion) {
+    let mut group = c.benchmark_group("joint_estimation");
+    for &b in &[2.0f64, 1.001] {
+        let (u, v) = prepared_sketches(b);
+        group.bench_function(format!("new_ml/b{b}"), |bencher| {
+            bencher.iter(|| u.estimate_joint(&v).expect("compatible"))
+        });
+        group.bench_function(format!("inclusion_exclusion/b{b}"), |bencher| {
+            bencher.iter(|| u.estimate_joint_inclusion_exclusion(&v).expect("compatible"))
+        });
+    }
+
+    // MinHash closed form (17) versus the classic estimator.
+    let mut mu = MinHash::new(BENCH_M, 7);
+    let mut mv = MinHash::new(BENCH_M, 7);
+    mu.extend(bench_elements(1, 20_000));
+    mu.extend(bench_elements(3, 20_000));
+    mv.extend(bench_elements(2, 20_000));
+    mv.extend(bench_elements(3, 20_000));
+    group.bench_function("minhash_new_closed_form", |bencher| {
+        bencher.iter(|| mu.estimate_joint(&mv).expect("compatible"))
+    });
+    group.bench_function("minhash_classic", |bencher| {
+        bencher.iter(|| mu.jaccard_classic(&mv).expect("compatible"))
+    });
+    group.finish();
+}
+
+fn bench_ml_kernel(c: &mut Criterion) {
+    // The pure likelihood maximization, isolated from register scans.
+    let counts = JointCounts::new(700, 650, 2746);
+    let mut group = c.benchmark_group("ml_kernel");
+    group.bench_function("brent_b2", |bencher| {
+        bencher.iter(|| ml_jaccard(counts, 2.0, 0.45, 0.55))
+    });
+    group.bench_function("brent_b1001", |bencher| {
+        bencher.iter(|| ml_jaccard(counts, 1.001, 0.45, 0.55))
+    });
+    group.bench_function("closed_form_b1", |bencher| {
+        bencher.iter(|| ml_jaccard_b1(counts, 0.45, 0.55))
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_cardinality_estimators,
+    bench_joint_estimators,
+    bench_ml_kernel
+);
+criterion_main!(benches);

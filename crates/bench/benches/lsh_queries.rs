@@ -1,0 +1,67 @@
+//! LSH index benchmarks (paper §3.3 use case).
+//!
+//! Measures indexing and query throughput of the banding index over
+//! SetSketch signatures, including the candidate-filtering step with the
+//! precise joint estimator.
+
+use bench::bench_elements;
+use criterion::{criterion_group, criterion_main, Criterion};
+use lsh::LshIndex;
+use setsketch::{SetSketch1, SetSketchConfig};
+
+fn corpus(count: u64) -> (SetSketchConfig, Vec<SetSketch1>) {
+    let cfg = SetSketchConfig::new(1024, 1.001, 20.0, (1 << 16) - 2).expect("valid");
+    let sketches = (0..count)
+        .map(|doc| {
+            let mut s = SetSketch1::new(cfg, 42);
+            s.extend(bench_elements(doc, 2000));
+            s.extend(bench_elements(1_000_000, 1000)); // shared core
+            s
+        })
+        .collect();
+    (cfg, sketches)
+}
+
+fn bench_lsh(c: &mut Criterion) {
+    let (_cfg, sketches) = corpus(256);
+    let mut group = c.benchmark_group("lsh");
+    group.sample_size(20);
+
+    group.bench_function("insert_256_docs", |bencher| {
+        bencher.iter(|| {
+            let index: LshIndex<u64> = LshIndex::new(128, 8).expect("valid");
+            for (doc, sketch) in sketches.iter().enumerate() {
+                index.insert(doc as u64, sketch.registers());
+            }
+            index.len()
+        });
+    });
+
+    let index: LshIndex<u64> = LshIndex::new(128, 8).expect("valid");
+    for (doc, sketch) in sketches.iter().enumerate() {
+        index.insert(doc as u64, sketch.registers());
+    }
+    group.bench_function("query", |bencher| {
+        bencher.iter(|| index.query(sketches[17].registers()));
+    });
+
+    group.bench_function("query_with_precise_filter", |bencher| {
+        bencher.iter(|| {
+            let candidates = index.query(sketches[17].registers());
+            let mut best = (u64::MAX, -1.0f64);
+            for id in candidates {
+                let joint = sketches[17]
+                    .estimate_joint(&sketches[id as usize])
+                    .expect("compatible");
+                if joint.quantities.jaccard > best.1 {
+                    best = (id, joint.quantities.jaccard);
+                }
+            }
+            best
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_lsh);
+criterion_main!(benches);

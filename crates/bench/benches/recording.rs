@@ -1,0 +1,80 @@
+//! Recording-speed benchmarks (paper Figure 10).
+//!
+//! Measures the amortized insert cost per element at several set
+//! cardinalities for SetSketch1/2, GHLL (with and without lower-bound
+//! tracking) and MinHash. The paper's qualitative expectations:
+//! GHLL flat and fast; MinHash flat and ~m times slower; SetSketch slow
+//! for tiny sets and approaching GHLL speed as the lower bound rises.
+
+use bench::{bench_elements, BENCH_CARDINALITIES, BENCH_M};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use hyperloglog::{GhllConfig, GhllSketch};
+use minhash::MinHash;
+use setsketch::{SetSketch1, SetSketch2, SetSketchConfig};
+
+fn setsketch_config(b: f64) -> SetSketchConfig {
+    let q = if b == 2.0 { 62 } else { (1 << 16) - 2 };
+    SetSketchConfig::new(BENCH_M, b, 20.0, q).expect("valid configuration")
+}
+
+fn bench_recording(c: &mut Criterion) {
+    let mut group = c.benchmark_group("recording");
+    group.sample_size(10);
+
+    for &n in &BENCH_CARDINALITIES {
+        group.throughput(Throughput::Elements(n));
+        for &b in &[2.0f64, 1.001] {
+            group.bench_with_input(
+                BenchmarkId::new(format!("setsketch1/b{b}"), n),
+                &n,
+                |bencher, &n| {
+                    let cfg = setsketch_config(b);
+                    bencher.iter(|| {
+                        let mut sketch = SetSketch1::new(cfg, 1);
+                        sketch.extend(bench_elements(1, n));
+                        sketch.registers()[0]
+                    });
+                },
+            );
+            group.bench_with_input(
+                BenchmarkId::new(format!("setsketch2/b{b}"), n),
+                &n,
+                |bencher, &n| {
+                    let cfg = setsketch_config(b);
+                    bencher.iter(|| {
+                        let mut sketch = SetSketch2::new(cfg, 1);
+                        sketch.extend(bench_elements(1, n));
+                        sketch.registers()[0]
+                    });
+                },
+            );
+            group.bench_with_input(
+                BenchmarkId::new(format!("ghll/b{b}"), n),
+                &n,
+                |bencher, &n| {
+                    let q = if b == 2.0 { 62 } else { (1 << 16) - 2 };
+                    let cfg = GhllConfig::new(BENCH_M, b, q).expect("valid");
+                    bencher.iter(|| {
+                        let mut sketch = GhllSketch::new(cfg, 1);
+                        sketch.extend(bench_elements(1, n));
+                        sketch.registers()[0]
+                    });
+                },
+            );
+        }
+        // MinHash has no base parameter; cap at 1e5 like the paper.
+        if n <= 100_000 {
+            group.bench_with_input(BenchmarkId::new("minhash", n), &n, |bencher, &n| {
+                bencher.iter(|| {
+                    let mut sketch = MinHash::new(BENCH_M, 1);
+                    sketch.extend(bench_elements(1, n));
+                    sketch.values()[0]
+                });
+            });
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_recording);
+criterion_main!(benches);

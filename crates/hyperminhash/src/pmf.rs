@@ -1,0 +1,75 @@
+//! Analytic register-update-value distribution (SetSketch paper Fig. 1).
+//!
+//! Every combined HyperMinHash update value `v = (p−1)·2^r + idx + 1` has
+//! probability `2^{-p} · 2^{-r}` — a staircase of dyadic probabilities
+//! approximating the smooth geometric pmf of the equivalent GHLL with base
+//! `2^(2^{-r})`.
+
+/// pmf of the combined update value `v >= 1`, zero otherwise.
+pub fn update_value_pmf(r: u32, v: i64) -> f64 {
+    if v < 1 {
+        return 0.0;
+    }
+    let p = ((v - 1) >> r) + 1;
+    if p > 63 {
+        return 0.0;
+    }
+    (2.0f64).powi(-(p as i32)) * (2.0f64).powi(-(r as i32))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pmf_sums_to_one() {
+        for r in [0u32, 1, 3, 10] {
+            let v_max = 63i64 * (1 << r);
+            let total: f64 = (1..=v_max).map(|v| update_value_pmf(r, v)).sum();
+            assert!((total - 1.0).abs() < 1e-12, "r={r}: total {total}");
+        }
+    }
+
+    #[test]
+    fn pmf_is_constant_within_an_interval() {
+        let r = 3u32;
+        for idx in 0..(1 << r) {
+            assert_eq!(update_value_pmf(r, 1 + idx), 0.5 * 0.125);
+            assert_eq!(update_value_pmf(r, 9 + idx), 0.25 * 0.125);
+        }
+    }
+
+    #[test]
+    fn pmf_matches_ghll_on_average() {
+        // Figure 1: the HyperMinHash staircase oscillates around the GHLL
+        // pmf with b = 2^(2^{-r}); summed over one dyadic interval they
+        // agree exactly.
+        let r = 1u32;
+        let b = 2.0f64.sqrt();
+        for p in 1..20i64 {
+            let hmh: f64 = (0..(1 << r))
+                .map(|idx| update_value_pmf(r, (p - 1) * (1 << r) + idx + 1))
+                .sum();
+            let ghll: f64 = ((p - 1) * (1 << r) + 1..=p * (1 << r))
+                .map(|k| hyperloglog_pmf(b, k))
+                .sum();
+            assert!((hmh - ghll).abs() < 1e-12, "p={p}: {hmh} vs {ghll}");
+        }
+    }
+
+    /// Local copy of the GHLL pmf to avoid a circular dev-dependency.
+    fn hyperloglog_pmf(b: f64, k: i64) -> f64 {
+        if k < 1 {
+            0.0
+        } else {
+            (b - 1.0) * (-(k as f64) * b.ln()).exp()
+        }
+    }
+
+    #[test]
+    fn pmf_zero_outside_domain() {
+        assert_eq!(update_value_pmf(4, 0), 0.0);
+        assert_eq!(update_value_pmf(4, -3), 0.0);
+        assert_eq!(update_value_pmf(0, 64), 0.0);
+    }
+}

@@ -1,0 +1,283 @@
+//! The banding LSH index.
+//!
+//! A signature of `bands × rows` registers is cut into `bands` slices; each
+//! slice hashes to a bucket in its own table. Two signatures become
+//! candidates if at least one band matches exactly, which happens with
+//! probability `1 − (1 − p^rows)^bands` for per-register collision
+//! probability `p` — the classic S-curve. For SetSketch signatures `p` is
+//! bounded by the paper's §3.3 inequalities, so the curve can be tuned in
+//! terms of the Jaccard similarity.
+
+use parking_lot::RwLock;
+use sketch_rand::hash_u64;
+use std::collections::HashMap;
+use std::hash::Hash;
+
+/// Errors raised by invalid banding configurations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum LshConfigError {
+    /// Both bands and rows must be at least 1.
+    EmptyBands,
+}
+
+impl std::fmt::Display for LshConfigError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "bands and rows must both be at least 1")
+    }
+}
+
+impl std::error::Error for LshConfigError {}
+
+/// Probability that at least one of `bands` bands of `rows` registers
+/// matches when each register collides independently with probability `p`:
+/// `1 − (1 − p^rows)^bands`.
+pub fn collision_curve(p: f64, bands: usize, rows: usize) -> f64 {
+    debug_assert!((0.0..=1.0).contains(&p));
+    let band_match = p.powi(rows as i32);
+    -((bands as f64) * (-band_match).ln_1p()).exp_m1()
+}
+
+/// A thread-safe banding LSH index mapping signatures to caller keys.
+///
+/// Keys are deduplicated per bucket; queries return the distinct keys of
+/// all matching buckets. Reads and writes take per-band reader/writer
+/// locks, so concurrent insert/query mixes scale across bands.
+#[derive(Debug)]
+pub struct LshIndex<K> {
+    bands: usize,
+    rows: usize,
+    tables: Vec<RwLock<HashMap<u64, Vec<K>>>>,
+}
+
+impl<K: Clone + Eq + Hash> LshIndex<K> {
+    /// Creates an index with the given banding; signatures passed to
+    /// [`insert`](Self::insert) and [`query`](Self::query) must contain at
+    /// least `bands * rows` registers (extra registers are ignored).
+    pub fn new(bands: usize, rows: usize) -> Result<Self, LshConfigError> {
+        if bands == 0 || rows == 0 {
+            return Err(LshConfigError::EmptyBands);
+        }
+        Ok(Self {
+            bands,
+            rows,
+            tables: (0..bands).map(|_| RwLock::new(HashMap::new())).collect(),
+        })
+    }
+
+    /// Number of bands.
+    #[inline]
+    pub fn bands(&self) -> usize {
+        self.bands
+    }
+
+    /// Rows (registers) per band.
+    #[inline]
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Total number of stored (band, key) entries; `len / bands` is the
+    /// number of inserted signatures if every key was inserted once.
+    pub fn len(&self) -> usize {
+        self.tables
+            .iter()
+            .map(|t| t.read().values().map(Vec::len).sum::<usize>())
+            .sum()
+    }
+
+    /// True if nothing has been inserted.
+    pub fn is_empty(&self) -> bool {
+        self.tables.iter().all(|t| t.read().is_empty())
+    }
+
+    /// Hashes one band slice into a bucket id.
+    fn band_hash(&self, band: usize, signature: &[u32]) -> u64 {
+        let start = band * self.rows;
+        let mut acc = band as u64 ^ 0x9e37_79b9_7f4a_7c15;
+        for &r in &signature[start..start + self.rows] {
+            acc = hash_u64(r as u64, acc);
+        }
+        acc
+    }
+
+    /// Validates the signature length.
+    fn check_signature(&self, signature: &[u32]) {
+        assert!(
+            signature.len() >= self.bands * self.rows,
+            "signature has {} registers, need at least {}",
+            signature.len(),
+            self.bands * self.rows
+        );
+    }
+
+    /// Inserts a key under its signature.
+    ///
+    /// # Panics
+    /// Panics if the signature is shorter than `bands * rows`.
+    pub fn insert(&self, key: K, signature: &[u32]) {
+        self.check_signature(signature);
+        for band in 0..self.bands {
+            let bucket = self.band_hash(band, signature);
+            let mut table = self.tables[band].write();
+            let entries = table.entry(bucket).or_default();
+            if !entries.contains(&key) {
+                entries.push(key.clone());
+            }
+        }
+    }
+
+    /// Returns the distinct keys sharing at least one band with the
+    /// signature.
+    ///
+    /// # Panics
+    /// Panics if the signature is shorter than `bands * rows`.
+    pub fn query(&self, signature: &[u32]) -> Vec<K> {
+        self.check_signature(signature);
+        let mut seen = std::collections::HashSet::new();
+        let mut result = Vec::new();
+        for band in 0..self.bands {
+            let bucket = self.band_hash(band, signature);
+            let table = self.tables[band].read();
+            if let Some(entries) = table.get(&bucket) {
+                for key in entries {
+                    if seen.insert(key.clone()) {
+                        result.push(key.clone());
+                    }
+                }
+            }
+        }
+        result
+    }
+
+    /// Removes a key from every bucket matching the signature it was
+    /// inserted under. Returns true if anything was removed.
+    pub fn remove(&self, key: &K, signature: &[u32]) -> bool {
+        self.check_signature(signature);
+        let mut removed = false;
+        for band in 0..self.bands {
+            let bucket = self.band_hash(band, signature);
+            let mut table = self.tables[band].write();
+            if let Some(entries) = table.get_mut(&bucket) {
+                let before = entries.len();
+                entries.retain(|k| k != key);
+                removed |= entries.len() != before;
+                if entries.is_empty() {
+                    table.remove(&bucket);
+                }
+            }
+        }
+        removed
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use setsketch::{SetSketch1, SetSketchConfig};
+
+    fn sketch_of(range: std::ops::Range<u64>) -> SetSketch1 {
+        let cfg = SetSketchConfig::new(256, 1.001, 20.0, (1 << 16) - 2).unwrap();
+        let mut s = SetSketch1::new(cfg, 77);
+        s.extend(range);
+        s
+    }
+
+    #[test]
+    fn collision_curve_shape() {
+        // S-curve: monotone in p, steeper with more rows.
+        assert_eq!(collision_curve(0.0, 16, 8), 0.0);
+        assert!((collision_curve(1.0, 16, 8) - 1.0).abs() < 1e-12);
+        let mut prev = 0.0;
+        for i in 1..=10 {
+            let p = i as f64 / 10.0;
+            let c = collision_curve(p, 16, 8);
+            assert!(c >= prev);
+            prev = c;
+        }
+        // Threshold ~ (1/bands)^(1/rows).
+        let threshold = (1.0f64 / 16.0).powf(1.0 / 8.0);
+        assert!(collision_curve(threshold * 0.6, 16, 8) < 0.1);
+        assert!(collision_curve(threshold * 1.3, 16, 8) > 0.5);
+    }
+
+    #[test]
+    fn near_duplicates_are_found() {
+        let index: LshIndex<&str> = LshIndex::new(32, 8).unwrap();
+        index.insert("original", sketch_of(0..10_000).registers());
+        index.insert("unrelated", sketch_of(1_000_000..1_010_000).registers());
+        // 95 % overlapping query.
+        let candidates = index.query(sketch_of(500..10_500).registers());
+        assert!(candidates.contains(&"original"));
+        assert!(!candidates.contains(&"unrelated"));
+    }
+
+    #[test]
+    fn dissimilar_signatures_rarely_collide() {
+        let index: LshIndex<u64> = LshIndex::new(16, 16).unwrap();
+        for doc in 0..50u64 {
+            let base = 10_000_000 + doc * 1_000_000;
+            index.insert(doc, sketch_of(base..base + 5000).registers());
+        }
+        let candidates = index.query(sketch_of(0..5000).registers());
+        assert!(
+            candidates.len() <= 2,
+            "unrelated candidates: {candidates:?}"
+        );
+    }
+
+    #[test]
+    fn insert_is_idempotent() {
+        let index: LshIndex<u32> = LshIndex::new(8, 4).unwrap();
+        let s = sketch_of(0..100);
+        index.insert(1, s.registers());
+        index.insert(1, s.registers());
+        assert_eq!(index.query(s.registers()), vec![1]);
+        assert_eq!(index.len(), 8);
+    }
+
+    #[test]
+    fn remove_works() {
+        let index: LshIndex<u32> = LshIndex::new(8, 4).unwrap();
+        let s = sketch_of(0..100);
+        index.insert(1, s.registers());
+        assert!(index.remove(&1, s.registers()));
+        assert!(index.query(s.registers()).is_empty());
+        assert!(index.is_empty());
+        assert!(!index.remove(&1, s.registers()));
+    }
+
+    #[test]
+    fn concurrent_inserts_and_queries() {
+        let index: LshIndex<u64> = LshIndex::new(16, 8).unwrap();
+        let sketches: Vec<_> = (0..32u64)
+            .map(|i| sketch_of(i * 1000..i * 1000 + 2000))
+            .collect();
+        std::thread::scope(|scope| {
+            for (i, sketch) in sketches.iter().enumerate() {
+                let index = &index;
+                scope.spawn(move || {
+                    index.insert(i as u64, sketch.registers());
+                    // Interleave queries with inserts.
+                    let _ = index.query(sketch.registers());
+                });
+            }
+        });
+        for (i, sketch) in sketches.iter().enumerate() {
+            let candidates = index.query(sketch.registers());
+            assert!(candidates.contains(&(i as u64)), "doc {i} lost");
+        }
+    }
+
+    #[test]
+    fn rejects_empty_banding() {
+        assert!(LshIndex::<u32>::new(0, 4).is_err());
+        assert!(LshIndex::<u32>::new(4, 0).is_err());
+    }
+
+    #[test]
+    #[should_panic(expected = "signature has")]
+    fn rejects_short_signatures() {
+        let index: LshIndex<u32> = LshIndex::new(64, 8).unwrap(); // needs 512
+        index.insert(1, sketch_of(0..10).registers()); // only 256
+    }
+}

@@ -1,0 +1,145 @@
+//! Bit-packed register codec.
+//!
+//! The paper's memory footprint claims (§2.3) refer to registers stored in
+//! `⌈log₂(q+2)⌉` bits each: the example configuration with q = 2¹⁶ − 2 uses
+//! two bytes per register, and HLL-like configurations (q = 62) use 6 bits.
+//! In RAM the sketches keep registers as `u32` for branch-free updates;
+//! this codec provides the packed wire/disk representation. The actual bit
+//! shuffling lives in [`sketch_math::bitpack`], shared with the GHLL codec.
+
+use bytes::Bytes;
+use sketch_math::bitpack::{self, BitPackError};
+
+/// Errors raised when decoding packed registers.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CodecError {
+    /// The byte buffer is shorter than `ceil(m * bits / 8)`.
+    Truncated,
+    /// A decoded register value exceeds the configured maximum.
+    ValueOutOfRange,
+    /// Unsupported bit width (must be 1..=32).
+    InvalidBitWidth,
+}
+
+impl std::fmt::Display for CodecError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CodecError::Truncated => write!(f, "packed register buffer is truncated"),
+            CodecError::ValueOutOfRange => write!(f, "register value exceeds maximum"),
+            CodecError::InvalidBitWidth => write!(f, "bit width must be between 1 and 32"),
+        }
+    }
+}
+
+impl std::error::Error for CodecError {}
+
+impl From<BitPackError> for CodecError {
+    fn from(e: BitPackError) -> Self {
+        match e {
+            BitPackError::Truncated => CodecError::Truncated,
+            BitPackError::ValueOutOfRange => CodecError::ValueOutOfRange,
+            BitPackError::InvalidBitWidth => CodecError::InvalidBitWidth,
+        }
+    }
+}
+
+/// Packs register values into `bits` bits each (little-endian bit order).
+///
+/// # Panics
+/// Panics if `bits` is not in `1..=32` or any value needs more bits.
+pub fn pack_registers(values: &[u32], bits: u32) -> Bytes {
+    Bytes::from(bitpack::pack_bits(values, bits))
+}
+
+/// Unpacks `m` register values of `bits` bits each, validating them against
+/// `max_value`.
+pub fn unpack_registers(
+    bytes: &[u8],
+    m: usize,
+    bits: u32,
+    max_value: u32,
+) -> Result<Vec<u32>, CodecError> {
+    bitpack::unpack_bits(bytes, m, bits, max_value).map_err(CodecError::from)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_various_widths() {
+        for bits in [1u32, 3, 6, 8, 13, 16, 24, 32] {
+            let mask = if bits == 32 { u32::MAX } else { (1 << bits) - 1 };
+            let values: Vec<u32> = (0..257u32)
+                .map(|i| i.wrapping_mul(2_654_435_761).wrapping_add(i) & mask)
+                .collect();
+            let packed = pack_registers(&values, bits);
+            let unpacked = unpack_registers(&packed, values.len(), bits, mask).unwrap();
+            assert_eq!(values, unpacked, "bits = {bits}");
+        }
+    }
+
+    #[test]
+    fn packed_size_matches_formula() {
+        let values = vec![0u32; 4096];
+        assert_eq!(pack_registers(&values, 6).len(), 3072); // 4096 * 6 / 8
+        assert_eq!(pack_registers(&values, 16).len(), 8192);
+        let values = vec![0u32; 7];
+        assert_eq!(pack_registers(&values, 6).len(), 6); // ceil(42/8)
+    }
+
+    #[test]
+    fn detects_truncation() {
+        let values = vec![1u32; 100];
+        let packed = pack_registers(&values, 6);
+        let err = unpack_registers(&packed[..packed.len() - 1], 100, 6, 63);
+        assert_eq!(err, Err(CodecError::Truncated));
+    }
+
+    #[test]
+    fn detects_out_of_range_values() {
+        let values = vec![63u32; 8];
+        let packed = pack_registers(&values, 6);
+        let err = unpack_registers(&packed, 8, 6, 62);
+        assert_eq!(err, Err(CodecError::ValueOutOfRange));
+    }
+
+    #[test]
+    fn rejects_invalid_bit_width() {
+        assert_eq!(
+            unpack_registers(&[0], 1, 0, 0),
+            Err(CodecError::InvalidBitWidth)
+        );
+        assert_eq!(
+            unpack_registers(&[0], 1, 33, 0),
+            Err(CodecError::InvalidBitWidth)
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds")]
+    fn pack_rejects_oversized_values() {
+        pack_registers(&[64], 6);
+    }
+
+    #[test]
+    fn empty_input() {
+        let packed = pack_registers(&[], 6);
+        assert!(packed.is_empty());
+        assert_eq!(unpack_registers(&packed, 0, 6, 63), Ok(vec![]));
+    }
+
+    #[test]
+    fn error_conversion_covers_all_variants() {
+        use sketch_math::bitpack::BitPackError;
+        assert_eq!(CodecError::from(BitPackError::Truncated), CodecError::Truncated);
+        assert_eq!(
+            CodecError::from(BitPackError::ValueOutOfRange),
+            CodecError::ValueOutOfRange
+        );
+        assert_eq!(
+            CodecError::from(BitPackError::InvalidBitWidth),
+            CodecError::InvalidBitWidth
+        );
+    }
+}

@@ -1,0 +1,428 @@
+//! The SetSketch data structure (paper §2, Algorithm 1).
+//!
+//! A SetSketch maps a set to m registers
+//! `K_i = max_{d ∈ S} ⌊1 − log_b h_i(d)⌋` with exponentially distributed
+//! hash values `h_i(d) ~ Exp(a)` (eq. (6)). The insert operation is
+//! idempotent and commutative, and the state of the union of two sets is the
+//! element-wise register maximum (mergeability).
+//!
+//! Algorithm 1 computes per element only the *ascending* sequence of its m
+//! hash values and stops as soon as a value can no longer affect any
+//! register — tracked through the lower bound `K_low` (§2.2) — giving an
+//! amortized O(1) insert for sets much larger than m.
+
+use crate::config::SetSketchConfig;
+use crate::sequence::{ExponentialSpacings, IntervalSampling, ValueSequence};
+use sketch_math::PowerTable;
+use sketch_rand::{hash_of, hash_u64, IncrementalShuffle, WyRand};
+use std::sync::Arc;
+
+/// SetSketch1: independent register values via exponential spacings.
+pub type SetSketch1 = SetSketch<ExponentialSpacings>;
+
+/// SetSketch2: correlated register values via interval sampling; same
+/// estimators, smaller errors for small sets (paper §5.2, §5.3).
+pub type SetSketch2 = SetSketch<IntervalSampling>;
+
+/// Error raised when two sketches with incompatible configurations or
+/// hash seeds are combined.
+#[derive(Debug, Clone, PartialEq)]
+pub struct IncompatibleSketches;
+
+impl std::fmt::Display for IncompatibleSketches {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "sketches differ in configuration or hash seed")
+    }
+}
+
+impl std::error::Error for IncompatibleSketches {}
+
+/// A SetSketch instance (paper Algorithm 1).
+///
+/// The type parameter selects the register-value construction; use the
+/// aliases [`SetSketch1`] and [`SetSketch2`].
+#[derive(Debug, Clone)]
+pub struct SetSketch<S: ValueSequence> {
+    config: SetSketchConfig,
+    seed: u64,
+    registers: Vec<u32>,
+    table: Arc<PowerTable>,
+    sequence: S,
+    shuffle: IncrementalShuffle,
+    /// Lower bound K_low <= min(K_1..K_m) (paper §2.2).
+    k_low: u32,
+    /// Register modifications since the last K_low rescan (w in Alg. 1).
+    modifications: u32,
+}
+
+impl<S: ValueSequence> SetSketch<S> {
+    /// Creates an empty sketch with the given configuration and hash seed.
+    ///
+    /// Two sketches can only be merged or jointly estimated when both their
+    /// configuration and their seed match.
+    pub fn new(config: SetSketchConfig, seed: u64) -> Self {
+        let table = Arc::new(PowerTable::new(config.b(), config.q()));
+        Self::with_shared_table(config, seed, table)
+    }
+
+    /// Creates an empty sketch reusing a prepared power table (avoids
+    /// rebuilding the table when many sketches share one configuration).
+    ///
+    /// # Panics
+    /// Panics if the table was built for a different base or limit.
+    pub fn with_shared_table(
+        config: SetSketchConfig,
+        seed: u64,
+        table: Arc<PowerTable>,
+    ) -> Self {
+        assert_eq!(table.b(), config.b(), "power table base mismatch");
+        assert_eq!(table.q(), config.q(), "power table limit mismatch");
+        Self {
+            registers: vec![0; config.m()],
+            sequence: S::create(config.m(), config.a()),
+            shuffle: IncrementalShuffle::new(config.m()),
+            table,
+            config,
+            seed,
+            k_low: 0,
+            modifications: 0,
+        }
+    }
+
+    /// The configuration of this sketch.
+    #[inline]
+    pub fn config(&self) -> &SetSketchConfig {
+        &self.config
+    }
+
+    /// The hash seed of this sketch.
+    #[inline]
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+
+    /// Number of registers m.
+    #[inline]
+    pub fn m(&self) -> usize {
+        self.config.m()
+    }
+
+    /// Read-only view of the register values.
+    #[inline]
+    pub fn registers(&self) -> &[u32] {
+        &self.registers
+    }
+
+    /// The tracked lower bound K_low (for tests and diagnostics).
+    #[inline]
+    pub fn k_low(&self) -> u32 {
+        self.k_low
+    }
+
+    /// The shared power table of this sketch's scale.
+    #[inline]
+    pub fn power_table(&self) -> &Arc<PowerTable> {
+        &self.table
+    }
+
+    /// True if no register has ever been modified.
+    pub fn is_unused(&self) -> bool {
+        self.registers.iter().all(|&k| k == 0)
+    }
+
+    /// Inserts any hashable element.
+    #[inline]
+    pub fn insert<T: std::hash::Hash + ?Sized>(&mut self, element: &T) {
+        self.insert_hash(hash_of(element, self.seed));
+    }
+
+    /// Inserts a 64-bit element (hashed with the sketch seed).
+    #[inline]
+    pub fn insert_u64(&mut self, element: u64) {
+        self.insert_hash(hash_u64(element, self.seed));
+    }
+
+    /// Inserts all elements of an iterator.
+    pub fn extend<I: IntoIterator<Item = u64>>(&mut self, elements: I) {
+        for e in elements {
+            self.insert_u64(e);
+        }
+    }
+
+    /// Inserts an already fully hashed element (Algorithm 1).
+    ///
+    /// The 64-bit value seeds the per-element pseudorandom generator; equal
+    /// values leave the state unchanged (idempotency).
+    pub fn insert_hash(&mut self, hash: u64) {
+        let mut rng = WyRand::new(hash);
+        self.sequence.start();
+        self.shuffle.reset();
+        let m = self.config.m();
+        for _ in 0..m {
+            let x = self.sequence.next(&mut rng);
+            // Combined check of Algorithm 1: stop when x > b^{-K_low} or the
+            // clamped update value k would satisfy k <= K_low.
+            let Some(k) = self.table.update_value_above(x, self.k_low) else {
+                break;
+            };
+            let i = self.shuffle.next(&mut rng) as usize;
+            if k > self.registers[i] {
+                self.registers[i] = k;
+                self.modifications += 1;
+                if self.modifications >= m as u32 {
+                    self.rescan_lower_bound();
+                }
+            }
+        }
+    }
+
+    /// Replaces the register contents (used when restoring serialized
+    /// state); recomputes the lower bound.
+    pub(crate) fn load_registers(&mut self, values: &[u32]) {
+        debug_assert_eq!(values.len(), self.registers.len());
+        self.registers.copy_from_slice(values);
+        self.rescan_lower_bound();
+    }
+
+    /// Rescans all registers to raise K_low (amortized O(1) per register
+    /// increment, §2.2).
+    #[cold]
+    fn rescan_lower_bound(&mut self) {
+        self.k_low = self.registers.iter().copied().min().unwrap_or(0);
+        self.modifications = 0;
+    }
+
+    /// Checks configuration and seed compatibility with another sketch.
+    pub fn is_compatible(&self, other: &Self) -> bool {
+        self.config == other.config && self.seed == other.seed
+    }
+
+    /// Merges `other` into `self` (union semantics): element-wise register
+    /// maximum, which is idempotent, associative and commutative.
+    pub fn merge(&mut self, other: &Self) -> Result<(), IncompatibleSketches> {
+        if !self.is_compatible(other) {
+            return Err(IncompatibleSketches);
+        }
+        for (a, &b) in self.registers.iter_mut().zip(&other.registers) {
+            if b > *a {
+                *a = b;
+            }
+        }
+        // Registers only grew; the old K_low stays valid but may be stale.
+        self.rescan_lower_bound();
+        Ok(())
+    }
+
+    /// Returns the union sketch of two compatible sketches.
+    pub fn merged(&self, other: &Self) -> Result<Self, IncompatibleSketches> {
+        let mut result = self.clone();
+        result.merge(other)?;
+        Ok(result)
+    }
+
+    /// Register histogram boundary counts and the estimator sum in one
+    /// pass: `(C_0, Σ_{0<k<q+1} b^{-K_i}, C_{q+1})`.
+    pub(crate) fn histogram_sum(&self) -> (usize, f64, usize) {
+        let limit = self.config.q() + 1;
+        let mut c0 = 0usize;
+        let mut c_limit = 0usize;
+        let mut sum = 0.0f64;
+        for &k in &self.registers {
+            if k == 0 {
+                c0 += 1;
+            } else if k == limit {
+                c_limit += 1;
+            } else {
+                sum += self.table.pow_neg(k);
+            }
+        }
+        (c0, sum, c_limit)
+    }
+}
+
+impl<S: ValueSequence> PartialEq for SetSketch<S> {
+    fn eq(&self, other: &Self) -> bool {
+        self.config == other.config
+            && self.seed == other.seed
+            && self.registers == other.registers
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn config_small() -> SetSketchConfig {
+        SetSketchConfig::new(64, 2.0, 20.0, 62).unwrap()
+    }
+
+    #[test]
+    fn empty_sketch_has_zero_registers() {
+        let sketch = SetSketch1::new(config_small(), 1);
+        assert!(sketch.is_unused());
+        assert_eq!(sketch.registers().len(), 64);
+        assert_eq!(sketch.k_low(), 0);
+    }
+
+    #[test]
+    fn insert_is_idempotent() {
+        for seed in 0..4 {
+            let mut a = SetSketch1::new(config_small(), seed);
+            let mut b = SetSketch1::new(config_small(), seed);
+            for e in 0..200u64 {
+                a.insert_u64(e);
+                b.insert_u64(e);
+                b.insert_u64(e); // duplicate inserts
+            }
+            for e in 0..200u64 {
+                b.insert_u64(e); // full replay
+            }
+            assert_eq!(a, b);
+        }
+    }
+
+    #[test]
+    fn insert_is_commutative() {
+        let mut a = SetSketch2::new(config_small(), 7);
+        let mut b = SetSketch2::new(config_small(), 7);
+        let elements: Vec<u64> = (0..500).collect();
+        for &e in &elements {
+            a.insert_u64(e);
+        }
+        for &e in elements.iter().rev() {
+            b.insert_u64(e);
+        }
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn merge_equals_inserting_union() {
+        let cfg = config_small();
+        let mut left = SetSketch1::new(cfg, 3);
+        let mut right = SetSketch1::new(cfg, 3);
+        let mut both = SetSketch1::new(cfg, 3);
+        for e in 0..300u64 {
+            left.insert_u64(e);
+            both.insert_u64(e);
+        }
+        for e in 200..600u64 {
+            right.insert_u64(e);
+            both.insert_u64(e);
+        }
+        let merged = left.merged(&right).unwrap();
+        assert_eq!(merged, both);
+    }
+
+    #[test]
+    fn merge_is_idempotent_and_commutative() {
+        let cfg = config_small();
+        let mut a = SetSketch2::new(cfg, 9);
+        let mut b = SetSketch2::new(cfg, 9);
+        a.extend(0..100);
+        b.extend(50..150);
+        let ab = a.merged(&b).unwrap();
+        let ba = b.merged(&a).unwrap();
+        assert_eq!(ab, ba);
+        let aa = a.merged(&a).unwrap();
+        assert_eq!(aa, a);
+    }
+
+    #[test]
+    fn merge_rejects_incompatible() {
+        let a = SetSketch1::new(config_small(), 1);
+        let b = SetSketch1::new(config_small(), 2);
+        assert_eq!(a.merged(&b), Err(IncompatibleSketches));
+        let c = SetSketch1::new(SetSketchConfig::new(32, 2.0, 20.0, 62).unwrap(), 1);
+        assert!(a.merged(&c).is_err());
+    }
+
+    #[test]
+    fn lower_bound_rises_with_cardinality() {
+        let mut sketch = SetSketch1::new(config_small(), 5);
+        sketch.extend(0..50_000);
+        assert!(sketch.k_low() > 0, "K_low should have risen");
+        let min = sketch.registers().iter().copied().min().unwrap();
+        assert!(sketch.k_low() <= min, "K_low must be a lower bound");
+    }
+
+    #[test]
+    fn registers_grow_monotonically() {
+        let mut sketch = SetSketch2::new(config_small(), 11);
+        let mut previous = sketch.registers().to_vec();
+        for chunk in 0..20u64 {
+            sketch.extend(chunk * 100..(chunk + 1) * 100);
+            let current = sketch.registers().to_vec();
+            for (p, c) in previous.iter().zip(&current) {
+                assert!(c >= p);
+            }
+            previous = current;
+        }
+    }
+
+    #[test]
+    fn registers_saturate_at_q_plus_one() {
+        // Tiny q forces saturation quickly.
+        let cfg = SetSketchConfig::new(16, 2.0, 20.0, 3).unwrap();
+        let mut sketch = SetSketch1::new(cfg, 1);
+        sketch.extend(0..10_000);
+        assert!(sketch.registers().iter().all(|&k| k <= 4));
+        assert!(sketch.registers().contains(&4));
+        // Saturated sketch: further inserts are no-ops.
+        let snapshot = sketch.clone();
+        sketch.extend(10_000..11_000);
+        assert_eq!(sketch, snapshot);
+    }
+
+    #[test]
+    fn different_seeds_give_different_states() {
+        let mut a = SetSketch1::new(config_small(), 1);
+        let mut b = SetSketch1::new(config_small(), 2);
+        a.extend(0..100);
+        b.extend(0..100);
+        assert_ne!(a.registers(), b.registers());
+    }
+
+    #[test]
+    fn insert_of_hashable_types() {
+        let mut sketch = SetSketch1::new(config_small(), 1);
+        sketch.insert("hello");
+        sketch.insert(&("tuple", 42u32));
+        sketch.insert(&12345u64);
+        assert!(!sketch.is_unused());
+        // Same element again: no change.
+        let snapshot = sketch.clone();
+        sketch.insert("hello");
+        assert_eq!(sketch, snapshot);
+    }
+
+    #[test]
+    fn histogram_sum_matches_registers() {
+        let cfg = SetSketchConfig::new(32, 2.0, 20.0, 5).unwrap();
+        let mut sketch = SetSketch1::new(cfg, 1);
+        sketch.extend(0..1000);
+        let (c0, sum, climit) = sketch.histogram_sum();
+        let mut expect_c0 = 0;
+        let mut expect_climit = 0;
+        let mut expect_sum = 0.0;
+        for &k in sketch.registers() {
+            match k {
+                0 => expect_c0 += 1,
+                6 => expect_climit += 1,
+                _ => expect_sum += 2.0f64.powi(-(k as i32)),
+            }
+        }
+        assert_eq!(c0, expect_c0);
+        assert_eq!(climit, expect_climit);
+        assert!((sum - expect_sum).abs() < 1e-12);
+    }
+
+    #[test]
+    fn sketch1_and_sketch2_states_differ() {
+        let cfg = config_small();
+        let mut s1 = SetSketch1::new(cfg, 1);
+        let mut s2 = SetSketch2::new(cfg, 1);
+        s1.extend(0..100);
+        s2.extend(0..100);
+        assert_ne!(s1.registers(), s2.registers());
+    }
+}

@@ -1,0 +1,127 @@
+//! Command-line driver regenerating the paper's figures.
+//!
+//! ```text
+//! experiments [FIGURES...] [OPTIONS]
+//!
+//! FIGURES    fig1 .. fig18, "memory" (equal-memory extension table),
+//!            "lshrecall" (LSH S-curve validation), or "all"
+//!            (default: all paper figures)
+//!
+//! OPTIONS
+//!   --out DIR       write one CSV per figure into DIR (default: results)
+//!   --paper         use the paper's full workload sizes (hours!)
+//!   --cycles N      override simulation cycles (fig5/fig12)
+//!   --pairs N       override pairs per ratio point (joint figures)
+//!   --threads N     worker threads (default: all cores)
+//!   --quiet         do not print the tables to stdout
+//! ```
+
+use simulation::{run_figure, Scale, ALL_FIGURES};
+use std::io::Write;
+use std::path::PathBuf;
+use std::time::Instant;
+
+struct Options {
+    figures: Vec<String>,
+    out_dir: PathBuf,
+    scale: Scale,
+    quiet: bool,
+}
+
+fn parse_args() -> Result<Options, String> {
+    let mut figures = Vec::new();
+    let mut out_dir = PathBuf::from("results");
+    let mut scale = Scale::quick();
+    let mut quiet = false;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--out" => {
+                out_dir = PathBuf::from(args.next().ok_or("--out needs a directory")?);
+            }
+            "--paper" => {
+                let threads = scale.threads;
+                scale = Scale::paper();
+                scale.threads = threads;
+            }
+            "--cycles" => {
+                scale.cycles = args
+                    .next()
+                    .ok_or("--cycles needs a number")?
+                    .parse()
+                    .map_err(|e| format!("invalid --cycles: {e}"))?;
+            }
+            "--pairs" => {
+                scale.pairs = args
+                    .next()
+                    .ok_or("--pairs needs a number")?
+                    .parse()
+                    .map_err(|e| format!("invalid --pairs: {e}"))?;
+            }
+            "--threads" => {
+                scale.threads = args
+                    .next()
+                    .ok_or("--threads needs a number")?
+                    .parse()
+                    .map_err(|e| format!("invalid --threads: {e}"))?;
+            }
+            "--quiet" => quiet = true,
+            "all" => figures.extend(ALL_FIGURES.iter().map(|f| (*f).to_owned())),
+            "memory" | "lshrecall" => figures.push(arg.clone()),
+            other if other.starts_with("fig") => {
+                if !ALL_FIGURES.contains(&other) {
+                    return Err(format!("unknown figure {other:?}; known: {ALL_FIGURES:?}"));
+                }
+                figures.push(other.to_owned());
+            }
+            other => return Err(format!("unknown argument {other:?}")),
+        }
+    }
+    if figures.is_empty() {
+        figures.extend(ALL_FIGURES.iter().map(|f| (*f).to_owned()));
+    }
+    Ok(Options {
+        figures,
+        out_dir,
+        scale,
+        quiet,
+    })
+}
+
+fn main() {
+    let options = match parse_args() {
+        Ok(o) => o,
+        Err(message) => {
+            eprintln!("error: {message}");
+            std::process::exit(2);
+        }
+    };
+    let stdout = std::io::stdout();
+    let mut out = std::io::BufWriter::new(stdout.lock());
+    for figure in &options.figures {
+        let start = Instant::now();
+        let table = run_figure(figure, &options.scale);
+        let elapsed = start.elapsed();
+        match table.write_csv(&options.out_dir) {
+            Ok(path) => {
+                writeln!(
+                    out,
+                    "# {figure}: {} rows in {:.2?} -> {}",
+                    table.rows.len(),
+                    elapsed,
+                    path.display()
+                )
+                .expect("stdout write failed");
+            }
+            Err(e) => {
+                eprintln!("error: failed to write {figure}: {e}");
+                std::process::exit(1);
+            }
+        }
+        if !options.quiet {
+            table.render(&mut out).expect("stdout write failed");
+            writeln!(out).expect("stdout write failed");
+        }
+        out.flush().expect("stdout flush failed");
+    }
+}

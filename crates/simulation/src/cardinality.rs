@@ -1,0 +1,319 @@
+//! Cardinality estimation experiment (paper Figures 5 and 12).
+//!
+//! For each simulation cycle a fresh sketch records a stream of distinct
+//! elements; at log-spaced checkpoints the cardinality estimate is compared
+//! with the true count. Relative bias, relative RMSE and kurtosis per
+//! checkpoint reproduce the rows of Figure 5 (corrected/simple estimator)
+//! and Figure 12 (maximum likelihood).
+
+use crate::workload::{element, log_spaced_checkpoints};
+use hyperloglog::{GhllConfig, GhllSketch};
+use setsketch::{SetSketch1, SetSketch2, SetSketchConfig};
+use sketch_math::ErrorStats;
+
+/// Which data structure the experiment records into.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CardinalitySketchKind {
+    /// SetSketch1 (independent registers).
+    SetSketch1,
+    /// SetSketch2 (correlated registers).
+    SetSketch2,
+    /// GHLL with stochastic averaging.
+    Ghll,
+}
+
+impl CardinalitySketchKind {
+    /// Display label used in result tables.
+    pub fn label(&self) -> &'static str {
+        match self {
+            CardinalitySketchKind::SetSketch1 => "setsketch1",
+            CardinalitySketchKind::SetSketch2 => "setsketch2",
+            CardinalitySketchKind::Ghll => "ghll",
+        }
+    }
+}
+
+/// Which estimator is evaluated.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CardinalityEstimatorKind {
+    /// Corrected estimator (18) — the Figure 5 default.
+    Corrected,
+    /// Maximum likelihood (Figure 12).
+    MaximumLikelihood,
+}
+
+/// Experiment parameters.
+#[derive(Debug, Clone)]
+pub struct CardinalityExperiment {
+    /// Data structure under test.
+    pub kind: CardinalitySketchKind,
+    /// Number of registers m.
+    pub m: usize,
+    /// Base b.
+    pub b: f64,
+    /// Register limit q.
+    pub q: u32,
+    /// SetSketch rate a (ignored for GHLL).
+    pub a: f64,
+    /// Simulation cycles (the paper uses 10 000).
+    pub cycles: u64,
+    /// Largest recorded cardinality.
+    pub n_max: u64,
+    /// Log-spaced estimation checkpoints per decade.
+    pub points_per_decade: usize,
+    /// Estimator under evaluation.
+    pub estimator: CardinalityEstimatorKind,
+    /// Worker threads (0 = all available).
+    pub threads: usize,
+    /// Stream id offset separating experiments.
+    pub stream_offset: u64,
+}
+
+/// One result point of the experiment.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CardinalityPoint {
+    /// True cardinality at the checkpoint.
+    pub n: u64,
+    /// Relative bias of the estimate.
+    pub relative_bias: f64,
+    /// Relative RMSE of the estimate.
+    pub relative_rmse: f64,
+    /// Kurtosis of the estimate distribution.
+    pub kurtosis: f64,
+    /// Theoretical relative standard deviation (paper §3.1), as reference.
+    pub expected_rsd: f64,
+}
+
+enum AnySketch {
+    S1(SetSketch1),
+    S2(SetSketch2),
+    Ghll(GhllSketch),
+}
+
+impl AnySketch {
+    fn build(exp: &CardinalityExperiment, seed: u64) -> Self {
+        match exp.kind {
+            CardinalitySketchKind::SetSketch1 => {
+                let cfg = SetSketchConfig::new(exp.m, exp.b, exp.a, exp.q)
+                    .expect("invalid SetSketch configuration");
+                AnySketch::S1(SetSketch1::new(cfg, seed))
+            }
+            CardinalitySketchKind::SetSketch2 => {
+                let cfg = SetSketchConfig::new(exp.m, exp.b, exp.a, exp.q)
+                    .expect("invalid SetSketch configuration");
+                AnySketch::S2(SetSketch2::new(cfg, seed))
+            }
+            CardinalitySketchKind::Ghll => {
+                let cfg =
+                    GhllConfig::new(exp.m, exp.b, exp.q).expect("invalid GHLL configuration");
+                AnySketch::Ghll(GhllSketch::new(cfg, seed))
+            }
+        }
+    }
+
+    #[inline]
+    fn insert(&mut self, e: u64) {
+        match self {
+            AnySketch::S1(s) => s.insert_u64(e),
+            AnySketch::S2(s) => s.insert_u64(e),
+            AnySketch::Ghll(s) => s.insert_u64(e),
+        }
+    }
+
+    fn estimate(&self, estimator: CardinalityEstimatorKind) -> f64 {
+        match (self, estimator) {
+            (AnySketch::S1(s), CardinalityEstimatorKind::Corrected) => s.estimate_cardinality(),
+            (AnySketch::S1(s), CardinalityEstimatorKind::MaximumLikelihood) => {
+                s.estimate_cardinality_ml()
+            }
+            (AnySketch::S2(s), CardinalityEstimatorKind::Corrected) => s.estimate_cardinality(),
+            (AnySketch::S2(s), CardinalityEstimatorKind::MaximumLikelihood) => {
+                s.estimate_cardinality_ml()
+            }
+            (AnySketch::Ghll(s), CardinalityEstimatorKind::Corrected) => s.estimate_cardinality(),
+            (AnySketch::Ghll(s), CardinalityEstimatorKind::MaximumLikelihood) => {
+                s.estimate_cardinality_ml()
+            }
+        }
+    }
+}
+
+impl CardinalityExperiment {
+    /// Theoretical RSD of the simple estimator (paper §3.1).
+    pub fn expected_rsd(&self) -> f64 {
+        (((self.b + 1.0) / (self.b - 1.0) * self.b.ln() - 1.0) / self.m as f64).sqrt()
+    }
+
+    /// Runs the experiment, parallelized over cycles.
+    pub fn run(&self) -> Vec<CardinalityPoint> {
+        let checkpoints = log_spaced_checkpoints(self.n_max, self.points_per_decade);
+        let threads = if self.threads == 0 {
+            std::thread::available_parallelism().map_or(1, |n| n.get())
+        } else {
+            self.threads
+        };
+        let worker_stats = crossbeam::thread::scope(|scope| {
+            let mut handles = Vec::new();
+            for worker in 0..threads {
+                let checkpoints = &checkpoints;
+                handles.push(scope.spawn(move |_| {
+                    let mut stats: Vec<ErrorStats> = checkpoints
+                        .iter()
+                        .map(|&n| ErrorStats::new(n as f64))
+                        .collect();
+                    let mut cycle = worker as u64;
+                    while cycle < self.cycles {
+                        self.run_cycle(cycle, checkpoints, &mut stats);
+                        cycle += threads as u64;
+                    }
+                    stats
+                }));
+            }
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("worker panicked"))
+                .collect::<Vec<_>>()
+        })
+        .expect("thread scope failed");
+
+        let mut merged = worker_stats
+            .into_iter()
+            .reduce(|mut acc, other| {
+                for (a, b) in acc.iter_mut().zip(&other) {
+                    a.merge(b);
+                }
+                acc
+            })
+            .expect("at least one worker");
+        let expected_rsd = self.expected_rsd();
+        checkpoints
+            .iter()
+            .zip(merged.iter_mut())
+            .map(|(&n, stats)| CardinalityPoint {
+                n,
+                relative_bias: stats.relative_bias(),
+                relative_rmse: stats.relative_rmse(),
+                kurtosis: stats.kurtosis(),
+                expected_rsd,
+            })
+            .collect()
+    }
+
+    fn run_cycle(&self, cycle: u64, checkpoints: &[u64], stats: &mut [ErrorStats]) {
+        let mut sketch = AnySketch::build(self, cycle);
+        let stream = self.stream_offset + cycle;
+        let mut inserted = 0u64;
+        for (checkpoint, stat) in checkpoints.iter().zip(stats.iter_mut()) {
+            while inserted < *checkpoint {
+                sketch.insert(element(stream, inserted));
+                inserted += 1;
+            }
+            stat.push(sketch.estimate(self.estimator));
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn base_experiment(kind: CardinalitySketchKind) -> CardinalityExperiment {
+        CardinalityExperiment {
+            kind,
+            m: 256,
+            b: 2.0,
+            q: 62,
+            a: 20.0,
+            cycles: 40,
+            n_max: 10_000,
+            points_per_decade: 2,
+            estimator: CardinalityEstimatorKind::Corrected,
+            threads: 0,
+            stream_offset: 0,
+        }
+    }
+
+    #[test]
+    fn setsketch1_error_matches_theory() {
+        let exp = base_experiment(CardinalitySketchKind::SetSketch1);
+        let points = exp.run();
+        let expected = exp.expected_rsd();
+        // Independent registers: flat error over the whole range
+        // (paper Fig. 5, SetSketch1 series).
+        for p in &points {
+            assert!(
+                p.relative_rmse < expected * 1.5 + 0.01,
+                "n={}: rmse {} vs expected {expected}",
+                p.n,
+                p.relative_rmse
+            );
+        }
+    }
+
+    #[test]
+    fn setsketch2_improves_small_cardinalities() {
+        let exp = base_experiment(CardinalitySketchKind::SetSketch2);
+        let points = exp.run();
+        let expected = exp.expected_rsd();
+        // Correlated registers: small-n error well below the asymptote
+        // (paper Fig. 5, SetSketch2 series).
+        let small = points.iter().find(|p| p.n <= 4).unwrap();
+        assert!(
+            small.relative_rmse < expected * 0.6,
+            "small-n rmse {} vs asymptote {expected}",
+            small.relative_rmse
+        );
+        let large = points.last().unwrap();
+        assert!(large.relative_rmse < expected * 1.5);
+    }
+
+    #[test]
+    fn ghll_is_unbiased_mid_range() {
+        let exp = base_experiment(CardinalitySketchKind::Ghll);
+        let points = exp.run();
+        for p in points.iter().filter(|p| p.n >= 100) {
+            assert!(
+                p.relative_bias.abs() < 0.05,
+                "n={}: bias {}",
+                p.n,
+                p.relative_bias
+            );
+        }
+    }
+
+    #[test]
+    fn ml_estimator_matches_corrected() {
+        let mut exp = base_experiment(CardinalitySketchKind::SetSketch1);
+        exp.cycles = 20;
+        exp.n_max = 1000;
+        let corrected = exp.run();
+        exp.estimator = CardinalityEstimatorKind::MaximumLikelihood;
+        let ml = exp.run();
+        // Figure 12 vs Figure 5: visually identical error curves.
+        for (c, m) in corrected.iter().zip(&ml) {
+            assert!(
+                (c.relative_rmse - m.relative_rmse).abs() < 0.02,
+                "n={}: {} vs {}",
+                c.n,
+                c.relative_rmse,
+                m.relative_rmse
+            );
+        }
+    }
+
+    #[test]
+    fn single_threaded_matches_parallel() {
+        let mut exp = base_experiment(CardinalitySketchKind::SetSketch1);
+        exp.cycles = 8;
+        exp.n_max = 100;
+        exp.threads = 1;
+        let serial = exp.run();
+        exp.threads = 4;
+        let parallel = exp.run();
+        for (s, p) in serial.iter().zip(&parallel) {
+            assert_eq!(s.n, p.n);
+            assert!((s.relative_rmse - p.relative_rmse).abs() < 1e-12);
+            assert!((s.relative_bias - p.relative_bias).abs() < 1e-12);
+        }
+    }
+}

@@ -1,0 +1,681 @@
+//! Per-figure experiment drivers.
+//!
+//! One function per figure of the paper, each returning a [`Table`] whose
+//! series correspond to the lines of the figure. Simulation-based figures
+//! take a [`Scale`] that defaults to laptop-size workloads; `Scale::paper`
+//! restores the paper's original parameters (10⁴ cycles, 10³ pairs, union
+//! cardinalities of 10⁶).
+
+use crate::cardinality::{
+    CardinalityEstimatorKind, CardinalityExperiment, CardinalitySketchKind,
+};
+use crate::joint::{JointExperiment, JointSketchKind, QuantityKind};
+use crate::recording::{RecordingExperiment, RecordingStructure};
+use crate::table::Table;
+use crate::workload::log_spaced_checkpoints;
+use sketch_math::{fisher, xi};
+
+/// Workload sizes for the simulation-based figures.
+#[derive(Debug, Clone)]
+pub struct Scale {
+    /// Simulation cycles for the cardinality figures (paper: 10 000).
+    pub cycles: u64,
+    /// Maximum cardinality for the cardinality figures (paper: 10⁷).
+    pub n_max: u64,
+    /// Pairs per ratio point for the joint figures (paper: 1000).
+    pub pairs: u64,
+    /// Union cardinality of the "large" joint figures (paper: 10⁶).
+    pub union_large: u64,
+    /// Union cardinality of the "small" joint figures (paper: 10³).
+    pub union_small: u64,
+    /// Union cardinality for the O(m)-insert MinHash/HyperMinHash large
+    /// figures (paper: 10⁶; scaled down by default).
+    pub union_large_minwise: u64,
+    /// Ratio grid points per side of 1 (paper: finely spaced; 3 gives the
+    /// canonical 7-point grid 10⁻³..10³).
+    pub ratio_points_per_side: usize,
+    /// Registers for joint figures (paper: 4096).
+    pub m_joint: usize,
+    /// Components for the MinHash/HyperMinHash joint figures.
+    pub m_minwise: usize,
+    /// Largest cardinality of the recording figure (paper: 10⁷).
+    pub recording_n_max: u64,
+    /// Measurement repetitions per recording point.
+    pub recording_runs: u32,
+    /// Worker threads (0 = all available).
+    pub threads: usize,
+}
+
+impl Scale {
+    /// Laptop-scale defaults: every figure regenerates in seconds to a few
+    /// minutes while preserving the paper's qualitative shapes.
+    pub fn quick() -> Self {
+        Self {
+            cycles: 100,
+            n_max: 100_000,
+            pairs: 50,
+            union_large: 100_000,
+            union_small: 1000,
+            union_large_minwise: 10_000,
+            ratio_points_per_side: 3,
+            m_joint: 4096,
+            m_minwise: 1024,
+            recording_n_max: 1_000_000,
+            recording_runs: 3,
+            threads: 0,
+        }
+    }
+
+    /// The paper's original workload sizes. Expect hours of runtime.
+    pub fn paper() -> Self {
+        Self {
+            cycles: 10_000,
+            n_max: 10_000_000,
+            pairs: 1000,
+            union_large: 1_000_000,
+            union_small: 1000,
+            union_large_minwise: 1_000_000,
+            ratio_points_per_side: 6,
+            m_joint: 4096,
+            m_minwise: 4096,
+            recording_n_max: 10_000_000,
+            recording_runs: 10,
+            threads: 0,
+        }
+    }
+}
+
+/// The (m, b, q) configurations shared by Figures 5, 10 and 12.
+fn standard_configs() -> Vec<(usize, f64, u32)> {
+    vec![
+        (256, 2.0, 62),
+        (4096, 2.0, 62),
+        (256, 1.001, (1 << 16) - 2),
+        (4096, 1.001, (1 << 16) - 2),
+    ]
+}
+
+/// Figure 1: register-update-value pmfs of GHLL vs HyperMinHash for the
+/// equivalent configurations (b = √2 ↔ r = 1 and b = 2^⅛ ↔ r = 3).
+pub fn fig01() -> Table {
+    let mut table = Table::new(
+        "fig01_update_value_pmf",
+        &["k", "ghll_b_sqrt2", "hmh_r1", "ghll_b_2pow8th", "hmh_r3"],
+    );
+    let b1 = 2.0f64.sqrt();
+    let b3 = 2.0f64.powf(0.125);
+    for k in 1..=64i64 {
+        table.push_row(vec![
+            k.to_string(),
+            Table::fmt(hyperloglog::update_value_pmf(b1, k)),
+            Table::fmt(hyperminhash::update_value_pmf(1, k)),
+            Table::fmt(hyperloglog::update_value_pmf(b3, k)),
+            Table::fmt(hyperminhash::update_value_pmf(3, k)),
+        ]);
+    }
+    table
+}
+
+/// Figure 2: asymptotic RMSE of the new estimator (known cardinalities)
+/// relative to the MinHash RMSE, for n_U = n_V and n_U = 0.5 n_V.
+pub fn fig02() -> Table {
+    let mut table = Table::new(
+        "fig02_rmse_ratio_theory",
+        &["case", "b", "jaccard", "rmse_ratio"],
+    );
+    let m = 4096;
+    let bases = [2.0, 1.2, 1.05, 1.001, 1.0];
+    let cases = [("equal", 0.5f64), ("half", 1.0 / 3.0)];
+    for (label, u) in cases {
+        let v = 1.0 - u;
+        let j_max = (u / v).min(v / u);
+        for &b in &bases {
+            for i in 1..=40 {
+                let j = j_max * i as f64 / 41.0;
+                let ratio =
+                    fisher::jaccard_rmse_theory(m, b, u, v, j) / fisher::minhash_rmse(m, j);
+                table.push_row(vec![
+                    label.to_owned(),
+                    Table::fmt(b),
+                    Table::fmt(j),
+                    Table::fmt(ratio),
+                ]);
+            }
+        }
+    }
+    table
+}
+
+/// Figure 3: range of possible register collision probabilities vs J.
+pub fn fig03() -> Table {
+    let mut table = Table::new(
+        "fig03_collision_bounds",
+        &["b", "jaccard", "lower_bound", "upper_bound"],
+    );
+    for &b in &[2.0, 1.2, 1.001] {
+        for i in 0..=40 {
+            let j = i as f64 / 40.0;
+            let (lo, hi) = setsketch::collision_probability_bounds(b, j);
+            table.push_row(vec![
+                Table::fmt(b),
+                Table::fmt(j),
+                Table::fmt(lo),
+                Table::fmt(hi),
+            ]);
+        }
+    }
+    table
+}
+
+/// Figure 4: exact RMSE of Ĵ_up (worst case n_U = n_V) relative to the
+/// MinHash RMSE.
+pub fn fig04() -> Table {
+    let mut table = Table::new(
+        "fig04_jup_rmse_ratio",
+        &["m", "b", "jaccard", "rmse_ratio"],
+    );
+    for &m in &[256usize, 4096] {
+        for &b in &[2.0, 1.2, 1.08, 1.02, 1.001] {
+            for i in 1..=24 {
+                let j = i as f64 / 25.0;
+                let ratio =
+                    setsketch::jaccard_upper_rmse(b, m, j) / fisher::minhash_rmse(m, j);
+                table.push_row(vec![
+                    m.to_string(),
+                    Table::fmt(b),
+                    Table::fmt(j),
+                    Table::fmt(ratio),
+                ]);
+            }
+        }
+    }
+    table
+}
+
+/// Shared body of Figures 5 and 12.
+fn cardinality_figure(name: &str, estimator: CardinalityEstimatorKind, scale: &Scale) -> Table {
+    let mut table = Table::new(
+        name,
+        &[
+            "structure",
+            "m",
+            "b",
+            "n",
+            "rel_bias",
+            "rel_rmse",
+            "kurtosis",
+            "expected_rsd",
+        ],
+    );
+    let kinds = [
+        CardinalitySketchKind::SetSketch1,
+        CardinalitySketchKind::SetSketch2,
+        CardinalitySketchKind::Ghll,
+    ];
+    // The ML sweep is expensive; restrict it to the small-m configs.
+    let configs: Vec<(usize, f64, u32)> = match estimator {
+        CardinalityEstimatorKind::Corrected => standard_configs(),
+        CardinalityEstimatorKind::MaximumLikelihood => standard_configs()
+            .into_iter()
+            .filter(|&(m, _, _)| m == 256)
+            .collect(),
+    };
+    for (offset, (m, b, q)) in configs.into_iter().enumerate() {
+        for (kind_index, &kind) in kinds.iter().enumerate() {
+            let experiment = CardinalityExperiment {
+                kind,
+                m,
+                b,
+                q,
+                a: 20.0,
+                cycles: scale.cycles,
+                n_max: scale.n_max,
+                points_per_decade: 3,
+                estimator,
+                threads: scale.threads,
+                stream_offset: ((offset * 3 + kind_index) as u64) << 18,
+            };
+            for point in experiment.run() {
+                table.push_row(vec![
+                    kind.label().to_owned(),
+                    m.to_string(),
+                    Table::fmt(b),
+                    point.n.to_string(),
+                    Table::fmt(point.relative_bias),
+                    Table::fmt(point.relative_rmse),
+                    Table::fmt(point.kurtosis),
+                    Table::fmt(point.expected_rsd),
+                ]);
+            }
+        }
+    }
+    table
+}
+
+/// Figure 5: relative bias, relative RMSE and kurtosis of the corrected
+/// cardinality estimator for SetSketch1/2 and GHLL.
+pub fn fig05(scale: &Scale) -> Table {
+    cardinality_figure("fig05_cardinality", CardinalityEstimatorKind::Corrected, scale)
+}
+
+/// Figure 12: the same sweep with maximum-likelihood estimation.
+pub fn fig12(scale: &Scale) -> Table {
+    cardinality_figure(
+        "fig12_cardinality_ml",
+        CardinalityEstimatorKind::MaximumLikelihood,
+        scale,
+    )
+}
+
+/// Shared body of the joint-estimation figures.
+fn joint_figure(
+    name: &str,
+    kind: JointSketchKind,
+    bases: &[f64],
+    m: usize,
+    union: u64,
+    scale: &Scale,
+) -> Table {
+    let mut table = Table::new(
+        name,
+        &[
+            "b",
+            "jaccard_target",
+            "ratio",
+            "estimator",
+            "quantity",
+            "rel_rmse",
+        ],
+    );
+    let ratios = JointExperiment::paper_ratios(scale.ratio_points_per_side);
+    for (b_index, &b) in bases.iter().enumerate() {
+        let q = if b == 2.0 { 62 } else { (1 << 16) - 2 };
+        for (j_index, &jaccard) in [0.01, 0.1, 0.5].iter().enumerate() {
+            let experiment = JointExperiment {
+                kind,
+                m,
+                b,
+                q,
+                a: 20.0,
+                union_cardinality: union,
+                jaccard,
+                ratios: ratios.clone(),
+                pairs: scale.pairs,
+                threads: scale.threads,
+                stream_offset: ((b_index * 3 + j_index) as u64) << 19,
+            };
+            for point in experiment.run() {
+                table.push_row(vec![
+                    Table::fmt(b),
+                    Table::fmt(jaccard),
+                    Table::fmt(point.ratio),
+                    point.estimator.label().to_owned(),
+                    point.quantity.label().to_owned(),
+                    Table::fmt(point.relative_rmse),
+                ]);
+            }
+            // Analytic reference series.
+            for &ratio in &ratios {
+                for quantity in QuantityKind::ALL {
+                    table.push_row(vec![
+                        Table::fmt(b),
+                        Table::fmt(jaccard),
+                        Table::fmt(ratio),
+                        "theory".to_owned(),
+                        quantity.label().to_owned(),
+                        Table::fmt(experiment.theory_relative_rmse(ratio, quantity)),
+                    ]);
+                }
+            }
+        }
+    }
+    table
+}
+
+/// Figure 6: joint estimation from SetSketch1, |U ∪ V| large.
+pub fn fig06(scale: &Scale) -> Table {
+    joint_figure(
+        "fig06_joint_setsketch1_large",
+        JointSketchKind::SetSketch1,
+        &[1.001, 2.0],
+        scale.m_joint,
+        scale.union_large,
+        scale,
+    )
+}
+
+/// Figure 7: joint estimation from SetSketch2, |U ∪ V| = 10³ (the regime
+/// where register correlation reduces the error below theory).
+pub fn fig07(scale: &Scale) -> Table {
+    joint_figure(
+        "fig07_joint_setsketch2_small",
+        JointSketchKind::SetSketch2,
+        &[1.001, 2.0],
+        scale.m_joint,
+        scale.union_small,
+        scale,
+    )
+}
+
+/// Figure 8: joint estimation from MinHash, |U ∪ V| large.
+pub fn fig08(scale: &Scale) -> Table {
+    joint_figure(
+        "fig08_joint_minhash_large",
+        JointSketchKind::MinHash,
+        &[1.0],
+        scale.m_minwise,
+        scale.union_large_minwise,
+        scale,
+    )
+}
+
+/// Figure 9: joint estimation from HyperMinHash (r = 10), |U ∪ V| large.
+pub fn fig09(scale: &Scale) -> Table {
+    joint_figure(
+        "fig09_joint_hyperminhash_large",
+        JointSketchKind::HyperMinHash { r: 10 },
+        &[1.000_677],
+        scale.m_minwise,
+        scale.union_large_minwise,
+        scale,
+    )
+}
+
+/// Figure 10: recording speed (average ns per inserted element).
+pub fn fig10(scale: &Scale) -> Table {
+    let mut table = Table::new(
+        "fig10_recording_speed",
+        &["structure", "m", "b", "n", "ns_per_element"],
+    );
+    let cardinalities = log_spaced_checkpoints(scale.recording_n_max, 1);
+    let structures = [
+        RecordingStructure::SetSketch1,
+        RecordingStructure::SetSketch2,
+        RecordingStructure::Ghll { tracking: false },
+        RecordingStructure::Ghll { tracking: true },
+        RecordingStructure::MinHash,
+    ];
+    for (m, b, q) in standard_configs() {
+        for &structure in &structures {
+            if structure == RecordingStructure::MinHash && b != 2.0 {
+                continue; // MinHash has no base parameter; measure once per m.
+            }
+            let experiment = RecordingExperiment {
+                structure,
+                m,
+                b,
+                q,
+                a: 20.0,
+                cardinalities: cardinalities.clone(),
+                runs: scale.recording_runs,
+            };
+            for point in experiment.run() {
+                table.push_row(vec![
+                    point.structure.to_owned(),
+                    point.m.to_string(),
+                    Table::fmt(point.b),
+                    point.n.to_string(),
+                    Table::fmt(point.nanos_per_element),
+                ]);
+            }
+        }
+    }
+    table
+}
+
+/// Figure 11: maximum deviation of ξ¹_b and ξ²_b from 1, as a function
+/// of b.
+pub fn fig11() -> Table {
+    let mut table = Table::new(
+        "fig11_xi_deviation",
+        &["b", "max_dev_xi1", "max_dev_xi2"],
+    );
+    for i in 0..=40 {
+        let b = 1.0 + 4.0 * (i as f64 + 0.5) / 41.0;
+        table.push_row(vec![
+            Table::fmt(b),
+            Table::fmt(xi::xi_max_deviation(1, b, 128)),
+            Table::fmt(xi::xi_max_deviation(2, b, 128)),
+        ]);
+    }
+    table
+}
+
+/// Figure 13: joint estimation from SetSketch2, |U ∪ V| large.
+pub fn fig13(scale: &Scale) -> Table {
+    joint_figure(
+        "fig13_joint_setsketch2_large",
+        JointSketchKind::SetSketch2,
+        &[1.001, 2.0],
+        scale.m_joint,
+        scale.union_large,
+        scale,
+    )
+}
+
+/// Figure 14: joint estimation from GHLL, |U ∪ V| large.
+pub fn fig14(scale: &Scale) -> Table {
+    joint_figure(
+        "fig14_joint_ghll_large",
+        JointSketchKind::Ghll,
+        &[1.001, 2.0],
+        scale.m_joint,
+        scale.union_large,
+        scale,
+    )
+}
+
+/// Figure 15: joint estimation from SetSketch1, |U ∪ V| = 10³.
+pub fn fig15(scale: &Scale) -> Table {
+    joint_figure(
+        "fig15_joint_setsketch1_small",
+        JointSketchKind::SetSketch1,
+        &[1.001, 2.0],
+        scale.m_joint,
+        scale.union_small,
+        scale,
+    )
+}
+
+/// Figure 16: joint estimation from GHLL, |U ∪ V| = 10³ — documents the
+/// estimator's failure below the m·H_m applicability threshold.
+pub fn fig16(scale: &Scale) -> Table {
+    joint_figure(
+        "fig16_joint_ghll_small",
+        JointSketchKind::Ghll,
+        &[1.001, 2.0],
+        scale.m_joint,
+        scale.union_small,
+        scale,
+    )
+}
+
+/// Figure 17: joint estimation from MinHash, |U ∪ V| = 10³.
+pub fn fig17(scale: &Scale) -> Table {
+    joint_figure(
+        "fig17_joint_minhash_small",
+        JointSketchKind::MinHash,
+        &[1.0],
+        scale.m_minwise,
+        scale.union_small,
+        scale,
+    )
+}
+
+/// Figure 18: joint estimation from HyperMinHash (r = 10), |U ∪ V| = 10³.
+pub fn fig18(scale: &Scale) -> Table {
+    joint_figure(
+        "fig18_joint_hyperminhash_small",
+        JointSketchKind::HyperMinHash { r: 10 },
+        &[1.000_677],
+        scale.m_minwise,
+        scale.union_small,
+        scale,
+    )
+}
+
+/// All figure names recognized by the `experiments` binary.
+pub const ALL_FIGURES: [&str; 18] = [
+    "fig1", "fig2", "fig3", "fig4", "fig5", "fig6", "fig7", "fig8", "fig9", "fig10", "fig11",
+    "fig12", "fig13", "fig14", "fig15", "fig16", "fig17", "fig18",
+];
+
+/// Extension experiments beyond the paper's figures.
+pub const EXTENSIONS: [&str; 2] = ["memory", "lshrecall"];
+
+/// Extension: empirical LSH retrieval probability versus the S-curves
+/// predicted from the §3.3 collision bounds (see `simulation::lsh_recall`).
+pub fn ext_lsh_recall(scale: &Scale) -> Table {
+    use crate::lsh_recall::LshRecallExperiment;
+    let mut table = Table::new(
+        "ext_lsh_recall",
+        &[
+            "jaccard",
+            "retrieval_rate",
+            "predicted_low",
+            "predicted_high",
+            "register_collision_rate",
+        ],
+    );
+    let experiment = LshRecallExperiment {
+        m: 256,
+        b: 1.001,
+        q: (1 << 16) - 2,
+        bands: 32,
+        rows: 8,
+        set_cardinality: 2000,
+        jaccards: vec![0.05, 0.2, 0.35, 0.5, 0.65, 0.8, 0.9, 0.97],
+        pairs: scale.pairs.max(40),
+    };
+    for point in experiment.run() {
+        table.push_row(vec![
+            Table::fmt(point.jaccard),
+            Table::fmt(point.retrieval_rate),
+            Table::fmt(point.predicted_low),
+            Table::fmt(point.predicted_high),
+            Table::fmt(point.register_collision_rate),
+        ]);
+    }
+    table
+}
+
+/// Extension: equal-memory Jaccard estimation shootout across all sketch
+/// families (see `simulation::memory`).
+pub fn ext_memory(scale: &Scale) -> Table {
+    use crate::memory::MemoryExperiment;
+    let mut table = Table::new(
+        "ext_memory_tradeoff",
+        &["budget_bytes", "contender", "m", "jaccard_rel_rmse"],
+    );
+    for &budget in &[1024usize, 8192] {
+        let experiment = MemoryExperiment {
+            budget_bytes: budget,
+            union_cardinality: (scale.union_large_minwise).max(2000),
+            jaccard: 0.2,
+            pairs: scale.pairs.min(30),
+        };
+        for point in experiment.run() {
+            table.push_row(vec![
+                budget.to_string(),
+                point.contender.to_owned(),
+                point.m.to_string(),
+                Table::fmt(point.relative_rmse),
+            ]);
+        }
+    }
+    table
+}
+
+/// Runs one figure by name.
+///
+/// # Panics
+/// Panics if the name is not one of [`ALL_FIGURES`].
+pub fn run_figure(name: &str, scale: &Scale) -> Table {
+    match name {
+        "fig1" => fig01(),
+        "fig2" => fig02(),
+        "fig3" => fig03(),
+        "fig4" => fig04(),
+        "fig5" => fig05(scale),
+        "fig6" => fig06(scale),
+        "fig7" => fig07(scale),
+        "fig8" => fig08(scale),
+        "fig9" => fig09(scale),
+        "fig10" => fig10(scale),
+        "fig11" => fig11(),
+        "fig12" => fig12(scale),
+        "fig13" => fig13(scale),
+        "fig14" => fig14(scale),
+        "fig15" => fig15(scale),
+        "fig16" => fig16(scale),
+        "fig17" => fig17(scale),
+        "fig18" => fig18(scale),
+        "memory" => ext_memory(scale),
+        "lshrecall" => ext_lsh_recall(scale),
+        other => panic!("unknown figure {other:?}; known: {ALL_FIGURES:?} plus {EXTENSIONS:?}"),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny_scale() -> Scale {
+        Scale {
+            cycles: 4,
+            n_max: 200,
+            pairs: 3,
+            union_large: 2000,
+            union_small: 300,
+            union_large_minwise: 1000,
+            ratio_points_per_side: 1,
+            m_joint: 64,
+            m_minwise: 64,
+            recording_n_max: 1000,
+            recording_runs: 1,
+            threads: 2,
+        }
+    }
+
+    #[test]
+    fn theory_figures_have_expected_shape() {
+        let t1 = fig01();
+        assert_eq!(t1.rows.len(), 64);
+        let t2 = fig02();
+        assert_eq!(t2.rows.len(), 2 * 5 * 40);
+        let t3 = fig03();
+        assert_eq!(t3.rows.len(), 3 * 41);
+        let t4 = fig04();
+        assert_eq!(t4.rows.len(), 2 * 5 * 24);
+        let t11 = fig11();
+        assert_eq!(t11.rows.len(), 41);
+    }
+
+    #[test]
+    fn cardinality_figure_runs_at_tiny_scale() {
+        let mut scale = tiny_scale();
+        scale.cycles = 3;
+        let table = fig05(&scale);
+        assert!(!table.rows.is_empty());
+        assert_eq!(table.columns.len(), 8);
+    }
+
+    #[test]
+    fn joint_figure_runs_at_tiny_scale() {
+        let table = fig07(&tiny_scale());
+        // 2 bases x 3 jaccards x 3 ratios x (3 estimators + theory) x 5 quantities
+        assert_eq!(table.rows.len(), 2 * 3 * 3 * 4 * 5);
+    }
+
+    #[test]
+    fn run_figure_dispatches() {
+        let t = run_figure("fig3", &tiny_scale());
+        assert_eq!(t.name, "fig03_collision_bounds");
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown figure")]
+    fn run_figure_rejects_unknown() {
+        run_figure("fig99", &tiny_scale());
+    }
+}

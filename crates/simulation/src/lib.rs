@@ -1,0 +1,31 @@
+//! Experiment harness regenerating every figure of the SetSketch paper.
+//!
+//! * [`workload`] — exactly-distinct synthetic element streams and the
+//!   paper's `U = S₁ ∪ S₃, V = S₂ ∪ S₃` pair construction (§5);
+//! * [`cardinality`] — the Figure 5/12 sweep (relative bias, relative
+//!   RMSE, kurtosis over the cardinality range);
+//! * [`joint`] — the Figure 6–9/13–18 sweeps (relative RMSE of five joint
+//!   quantities across estimators and difference ratios);
+//! * [`recording`] — the Figure 10 recording-speed measurement;
+//! * [`memory`] — extension: equal-memory Jaccard shootout across all
+//!   sketch families;
+//! * [`lsh_recall`] — extension: empirical LSH retrieval probability
+//!   versus the §3.3 S-curve predictions;
+//! * [`figures`] — one driver per figure, plus the [`figures::Scale`]
+//!   presets (`quick` for laptop-scale, `paper` for the original sizes);
+//! * [`table`] — CSV/text output.
+//!
+//! The `experiments` binary (`cargo run --release -p simulation --bin
+//! experiments -- all --out results`) writes one CSV per figure.
+
+pub mod cardinality;
+pub mod figures;
+pub mod joint;
+pub mod lsh_recall;
+pub mod memory;
+pub mod recording;
+pub mod table;
+pub mod workload;
+
+pub use figures::{run_figure, Scale, ALL_FIGURES, EXTENSIONS};
+pub use table::Table;

@@ -1,0 +1,148 @@
+//! Tabular experiment output.
+//!
+//! Every figure runner produces a [`Table`]; the `experiments` binary
+//! writes them as CSV files (one per figure) and prints an aligned text
+//! rendering to stdout so the series can be compared against the paper at
+//! a glance.
+
+use std::io::{self, BufWriter, Write};
+use std::path::Path;
+
+/// A simple column-oriented result table.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Table {
+    /// Table identifier (used as the CSV file stem).
+    pub name: String,
+    /// Column headers.
+    pub columns: Vec<String>,
+    /// Data rows, each exactly `columns.len()` long.
+    pub rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Creates an empty table with the given name and column headers.
+    pub fn new(name: impl Into<String>, columns: &[&str]) -> Self {
+        Self {
+            name: name.into(),
+            columns: columns.iter().map(|c| (*c).to_owned()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends a row.
+    ///
+    /// # Panics
+    /// Panics if the row length does not match the header.
+    pub fn push_row(&mut self, row: Vec<String>) {
+        assert_eq!(
+            row.len(),
+            self.columns.len(),
+            "row length does not match column count"
+        );
+        self.rows.push(row);
+    }
+
+    /// Formats a float with compact scientific-ish precision.
+    pub fn fmt(value: f64) -> String {
+        if value == 0.0 {
+            "0".to_owned()
+        } else if value.is_nan() {
+            "nan".to_owned()
+        } else if value.is_infinite() {
+            if value > 0.0 { "inf" } else { "-inf" }.to_owned()
+        } else if value.abs() >= 0.001 && value.abs() < 1e7 {
+            format!("{value:.6}")
+        } else {
+            format!("{value:.4e}")
+        }
+    }
+
+    /// Writes the table as CSV into `dir/<name>.csv`; returns the path.
+    pub fn write_csv(&self, dir: &Path) -> io::Result<std::path::PathBuf> {
+        std::fs::create_dir_all(dir)?;
+        let path = dir.join(format!("{}.csv", self.name));
+        let mut out = BufWriter::new(std::fs::File::create(&path)?);
+        writeln!(out, "{}", self.columns.join(","))?;
+        for row in &self.rows {
+            writeln!(out, "{}", row.join(","))?;
+        }
+        out.flush()?;
+        Ok(path)
+    }
+
+    /// Renders an aligned text table to the writer.
+    pub fn render<W: Write>(&self, out: &mut W) -> io::Result<()> {
+        let mut widths: Vec<usize> = self.columns.iter().map(String::len).collect();
+        for row in &self.rows {
+            for (w, cell) in widths.iter_mut().zip(row) {
+                *w = (*w).max(cell.len());
+            }
+        }
+        writeln!(out, "## {}", self.name)?;
+        let header: Vec<String> = self
+            .columns
+            .iter()
+            .zip(&widths)
+            .map(|(c, w)| format!("{c:>w$}"))
+            .collect();
+        writeln!(out, "{}", header.join("  "))?;
+        for row in &self.rows {
+            let cells: Vec<String> = row
+                .iter()
+                .zip(&widths)
+                .map(|(c, w)| format!("{c:>w$}"))
+                .collect();
+            writeln!(out, "{}", cells.join("  "))?;
+        }
+        Ok(())
+    }
+
+    /// Renders the table to a string (for tests and logs).
+    pub fn to_text(&self) -> String {
+        let mut buf = Vec::new();
+        self.render(&mut buf).expect("in-memory write cannot fail");
+        String::from_utf8(buf).expect("table text is UTF-8")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_aligned_text() {
+        let mut t = Table::new("demo", &["n", "value"]);
+        t.push_row(vec!["1".into(), "0.5".into()]);
+        t.push_row(vec!["1000".into(), "0.25".into()]);
+        let text = t.to_text();
+        assert!(text.contains("## demo"));
+        assert!(text.contains("   n"));
+        assert!(text.contains("1000"));
+    }
+
+    #[test]
+    fn csv_roundtrip_via_filesystem() {
+        let dir = std::env::temp_dir().join("setsketch-table-test");
+        let mut t = Table::new("csv_demo", &["a", "b"]);
+        t.push_row(vec!["1".into(), "x".into()]);
+        let path = t.write_csv(&dir).unwrap();
+        let content = std::fs::read_to_string(path).unwrap();
+        assert_eq!(content, "a,b\n1,x\n");
+    }
+
+    #[test]
+    fn float_formatting() {
+        assert_eq!(Table::fmt(0.0), "0");
+        assert_eq!(Table::fmt(0.5), "0.500000");
+        assert!(Table::fmt(1e-9).contains('e'));
+        assert_eq!(Table::fmt(f64::INFINITY), "inf");
+        assert_eq!(Table::fmt(f64::NAN), "nan");
+    }
+
+    #[test]
+    #[should_panic(expected = "row length")]
+    fn rejects_ragged_rows() {
+        let mut t = Table::new("bad", &["a", "b"]);
+        t.push_row(vec!["1".into()]);
+    }
+}

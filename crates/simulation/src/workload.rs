@@ -1,0 +1,216 @@
+//! Synthetic workloads (paper §5).
+//!
+//! The paper evaluates on sets of random 64-bit integers, arguing that
+//! high-quality hash output is indistinguishable from uniform randomness,
+//! and constructs set pairs with prescribed relationship as
+//! `U = S₁ ∪ S₃`, `V = S₂ ∪ S₃` from three disjoint sets of fixed sizes.
+//!
+//! We strengthen "random and almost surely distinct" to *exactly distinct*:
+//! elements are sequential (stream, index) identifiers pushed through the
+//! bijective SplitMix64 finalizer, so distinct identifiers are guaranteed
+//! to yield distinct, uniform-looking 64-bit elements.
+
+use sketch_math::JointQuantities;
+use sketch_rand::mix64;
+
+/// Bits reserved for the per-stream index.
+const INDEX_BITS: u32 = 40;
+
+/// Returns the `index`-th element of logical stream `stream`.
+///
+/// Elements are globally distinct across all (stream, index) pairs.
+///
+/// # Panics
+/// Panics (debug) if `stream` or `index` exceed their bit budgets
+/// (24 and 40 bits respectively).
+#[inline]
+pub fn element(stream: u64, index: u64) -> u64 {
+    debug_assert!(stream < (1 << (64 - INDEX_BITS)));
+    debug_assert!(index < (1 << INDEX_BITS));
+    mix64((stream << INDEX_BITS) | index)
+}
+
+/// Iterator over the elements of one stream.
+pub fn elements(stream: u64, count: u64) -> impl Iterator<Item = u64> {
+    (0..count).map(move |i| element(stream, i))
+}
+
+/// Sizes of the three disjoint component sets of a pair
+/// (`U = S₁ ∪ S₃`, `V = S₂ ∪ S₃`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SetPair {
+    /// |S₁| = |U \ V|.
+    pub n1: u64,
+    /// |S₂| = |V \ U|.
+    pub n2: u64,
+    /// |S₃| = |U ∩ V|.
+    pub n3: u64,
+}
+
+impl SetPair {
+    /// Solves the component sizes for a prescribed union cardinality,
+    /// Jaccard similarity and difference ratio `|U \ V| / |V \ U|`,
+    /// rounding to integers. The *exact* resulting quantities are
+    /// available via [`true_quantities`](Self::true_quantities).
+    pub fn from_union_jaccard_ratio(union: u64, jaccard: f64, ratio: f64) -> Self {
+        assert!(union > 0, "union cardinality must be positive");
+        assert!((0.0..=1.0).contains(&jaccard), "jaccard must be in [0, 1]");
+        assert!(ratio > 0.0, "difference ratio must be positive");
+        let n3 = (union as f64 * jaccard).round() as u64;
+        let rest = union - n3.min(union);
+        let n1 = (rest as f64 * ratio / (1.0 + ratio)).round() as u64;
+        let n2 = rest - n1.min(rest);
+        Self { n1, n2, n3 }
+    }
+
+    /// Cardinality of U.
+    pub fn n_u(&self) -> u64 {
+        self.n1 + self.n3
+    }
+
+    /// Cardinality of V.
+    pub fn n_v(&self) -> u64 {
+        self.n2 + self.n3
+    }
+
+    /// Union cardinality.
+    pub fn union(&self) -> u64 {
+        self.n1 + self.n2 + self.n3
+    }
+
+    /// Exact Jaccard similarity of the constructed pair.
+    pub fn jaccard(&self) -> f64 {
+        if self.union() == 0 {
+            0.0
+        } else {
+            self.n3 as f64 / self.union() as f64
+        }
+    }
+
+    /// All exact joint quantities of the constructed pair.
+    pub fn true_quantities(&self) -> JointQuantities {
+        JointQuantities::new(self.n_u() as f64, self.n_v() as f64, self.jaccard())
+    }
+
+    /// Elements of U for the given stream base (uses streams `base` for S₁
+    /// and `base + 2` for S₃).
+    pub fn u_elements(&self, stream_base: u64) -> impl Iterator<Item = u64> {
+        elements(stream_base, self.n1).chain(elements(stream_base + 2, self.n3))
+    }
+
+    /// Elements of V for the given stream base (uses streams `base + 1`
+    /// for S₂ and `base + 2` for S₃).
+    pub fn v_elements(&self, stream_base: u64) -> impl Iterator<Item = u64> {
+        elements(stream_base + 1, self.n2).chain(elements(stream_base + 2, self.n3))
+    }
+}
+
+/// Log-spaced cardinality checkpoints from 1 to `max` (inclusive),
+/// deduplicated after rounding.
+pub fn log_spaced_checkpoints(max: u64, points_per_decade: usize) -> Vec<u64> {
+    assert!(max >= 1 && points_per_decade >= 1);
+    let decades = (max as f64).log10();
+    let total = (decades * points_per_decade as f64).ceil() as usize + 1;
+    let mut points: Vec<u64> = (0..=total)
+        .map(|i| {
+            let exp = decades * i as f64 / total as f64;
+            (10.0f64).powf(exp).round().clamp(1.0, max as f64) as u64
+        })
+        .collect();
+    points.dedup();
+    points
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn elements_are_globally_distinct() {
+        let mut seen = std::collections::HashSet::new();
+        for stream in 0..20u64 {
+            for e in elements(stream, 1000) {
+                assert!(seen.insert(e), "duplicate element");
+            }
+        }
+    }
+
+    #[test]
+    fn pair_solver_hits_prescribed_parameters() {
+        let pair = SetPair::from_union_jaccard_ratio(1_000_000, 0.1, 10.0);
+        assert_eq!(pair.union(), 1_000_000);
+        assert!((pair.jaccard() - 0.1).abs() < 1e-5);
+        let ratio = pair.n1 as f64 / pair.n2 as f64;
+        assert!((ratio - 10.0).abs() < 0.01, "ratio {ratio}");
+    }
+
+    #[test]
+    fn pair_solver_extreme_ratios() {
+        let pair = SetPair::from_union_jaccard_ratio(1000, 0.5, 1000.0);
+        assert_eq!(pair.union(), 1000);
+        assert_eq!(pair.n3, 500);
+        assert!(pair.n2 <= 1);
+        let pair = SetPair::from_union_jaccard_ratio(1000, 0.5, 0.001);
+        assert!(pair.n1 <= 1);
+    }
+
+    #[test]
+    fn pair_true_quantities_are_consistent() {
+        let pair = SetPair {
+            n1: 30,
+            n2: 60,
+            n3: 30,
+        };
+        let q = pair.true_quantities();
+        assert_eq!(q.n_u, 60.0);
+        assert_eq!(q.n_v, 90.0);
+        assert!((q.jaccard - 0.25).abs() < 1e-12);
+        assert!((q.union_size - 120.0).abs() < 1e-9);
+        assert!((q.intersection - 30.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn pair_element_streams_overlap_exactly_in_s3() {
+        let pair = SetPair {
+            n1: 100,
+            n2: 50,
+            n3: 25,
+        };
+        let u: std::collections::HashSet<u64> = pair.u_elements(300).collect();
+        let v: std::collections::HashSet<u64> = pair.v_elements(300).collect();
+        assert_eq!(u.len() as u64, pair.n_u());
+        assert_eq!(v.len() as u64, pair.n_v());
+        assert_eq!(u.intersection(&v).count() as u64, pair.n3);
+    }
+
+    #[test]
+    fn different_stream_bases_give_disjoint_pairs() {
+        let pair = SetPair {
+            n1: 10,
+            n2: 10,
+            n3: 10,
+        };
+        let a: std::collections::HashSet<u64> = pair.u_elements(0).collect();
+        let b: std::collections::HashSet<u64> = pair.u_elements(3).collect();
+        assert_eq!(a.intersection(&b).count(), 0);
+    }
+
+    #[test]
+    fn checkpoints_are_increasing_and_span_range() {
+        let points = log_spaced_checkpoints(1_000_000, 5);
+        assert_eq!(*points.first().unwrap(), 1);
+        assert_eq!(*points.last().unwrap(), 1_000_000);
+        for w in points.windows(2) {
+            assert!(w[0] < w[1]);
+        }
+        // Roughly 5 points per decade over 6 decades.
+        assert!(points.len() >= 25 && points.len() <= 40);
+    }
+
+    #[test]
+    fn checkpoints_tiny_range() {
+        assert_eq!(log_spaced_checkpoints(1, 5), vec![1]);
+        let points = log_spaced_checkpoints(10, 3);
+        assert_eq!(*points.last().unwrap(), 10);
+    }
+}

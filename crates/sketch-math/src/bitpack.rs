@@ -1,0 +1,138 @@
+//! Fixed-width bit packing of register arrays.
+//!
+//! Sketch memory-footprint claims (paper §2.3) assume registers stored in
+//! `⌈log₂(q+2)⌉` bits each. This module is the shared packing substrate
+//! used by the SetSketch and GHLL binary codecs: little-endian bit order,
+//! widths 1..=32.
+
+/// Errors raised when unpacking.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum BitPackError {
+    /// Fewer input bytes than `ceil(m * bits / 8)`.
+    Truncated,
+    /// A decoded value exceeds the allowed maximum.
+    ValueOutOfRange,
+    /// Width outside 1..=32.
+    InvalidBitWidth,
+}
+
+impl std::fmt::Display for BitPackError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            BitPackError::Truncated => write!(f, "packed buffer is truncated"),
+            BitPackError::ValueOutOfRange => write!(f, "decoded value exceeds maximum"),
+            BitPackError::InvalidBitWidth => write!(f, "bit width must be between 1 and 32"),
+        }
+    }
+}
+
+impl std::error::Error for BitPackError {}
+
+/// Packs `values` into `bits` bits each.
+///
+/// # Panics
+/// Panics if `bits` is outside `1..=32` or any value does not fit.
+pub fn pack_bits(values: &[u32], bits: u32) -> Vec<u8> {
+    assert!((1..=32).contains(&bits), "bit width must be 1..=32");
+    let mask = if bits == 32 {
+        u32::MAX
+    } else {
+        (1u32 << bits) - 1
+    };
+    let mut out = Vec::with_capacity((values.len() * bits as usize).div_ceil(8));
+    let mut buffer: u64 = 0;
+    let mut filled: u32 = 0;
+    for &v in values {
+        assert!(v <= mask, "value {v} exceeds {bits} bits");
+        buffer |= (v as u64) << filled;
+        filled += bits;
+        while filled >= 8 {
+            out.push((buffer & 0xff) as u8);
+            buffer >>= 8;
+            filled -= 8;
+        }
+    }
+    if filled > 0 {
+        out.push((buffer & 0xff) as u8);
+    }
+    out
+}
+
+/// Unpacks `m` values of `bits` bits each, validating against `max_value`.
+pub fn unpack_bits(
+    bytes: &[u8],
+    m: usize,
+    bits: u32,
+    max_value: u32,
+) -> Result<Vec<u32>, BitPackError> {
+    if !(1..=32).contains(&bits) {
+        return Err(BitPackError::InvalidBitWidth);
+    }
+    let needed = (m * bits as usize).div_ceil(8);
+    if bytes.len() < needed {
+        return Err(BitPackError::Truncated);
+    }
+    let mask = if bits == 32 {
+        u32::MAX as u64
+    } else {
+        (1u64 << bits) - 1
+    };
+    let mut values = Vec::with_capacity(m);
+    let mut buffer: u64 = 0;
+    let mut filled: u32 = 0;
+    let mut iter = bytes.iter();
+    for _ in 0..m {
+        while filled < bits {
+            let byte = *iter.next().ok_or(BitPackError::Truncated)?;
+            buffer |= (byte as u64) << filled;
+            filled += 8;
+        }
+        let v = (buffer & mask) as u32;
+        if v > max_value {
+            return Err(BitPackError::ValueOutOfRange);
+        }
+        values.push(v);
+        buffer >>= bits;
+        filled -= bits;
+    }
+    Ok(values)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_widths() {
+        for bits in [1u32, 5, 6, 8, 16, 31, 32] {
+            let mask = if bits == 32 { u32::MAX } else { (1 << bits) - 1 };
+            let values: Vec<u32> = (0..100u32).map(|i| i.wrapping_mul(2_654_435_761) & mask).collect();
+            let packed = pack_bits(&values, bits);
+            assert_eq!(unpack_bits(&packed, 100, bits, mask).unwrap(), values);
+        }
+    }
+
+    #[test]
+    fn size_formula() {
+        assert_eq!(pack_bits(&[0; 4096], 6).len(), 3072);
+        assert_eq!(pack_bits(&[0; 5], 3).len(), 2);
+        assert!(pack_bits(&[], 7).is_empty());
+    }
+
+    #[test]
+    fn error_cases() {
+        let packed = pack_bits(&[3; 10], 6);
+        assert_eq!(
+            unpack_bits(&packed[..packed.len() - 1], 10, 6, 63),
+            Err(BitPackError::Truncated)
+        );
+        assert_eq!(
+            unpack_bits(&packed, 10, 6, 2),
+            Err(BitPackError::ValueOutOfRange)
+        );
+        assert_eq!(
+            unpack_bits(&packed, 10, 0, 63),
+            Err(BitPackError::InvalidBitWidth)
+        );
+    }
+}

@@ -1,0 +1,243 @@
+//! Brent's method for derivative-free univariate optimization.
+//!
+//! The joint maximum-likelihood estimator of the paper maximizes a strictly
+//! concave log-likelihood over a closed interval (§3.2: "the ML estimate for
+//! J can be quickly and robustly found using standard univariate
+//! optimization algorithms like Brent's method"). This is the classic
+//! combination of golden-section search and successive parabolic
+//! interpolation (Brent, *Algorithms for Minimization without Derivatives*,
+//! 1973).
+
+/// Result of a univariate optimization.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Extremum {
+    /// Argument of the extremum.
+    pub x: f64,
+    /// Function value at [`Extremum::x`].
+    pub value: f64,
+    /// Number of function evaluations used.
+    pub evaluations: u32,
+}
+
+/// Golden ratio constant (3 − √5)/2 used by golden-section steps.
+const CGOLD: f64 = 0.381_966_011_250_105_1;
+/// Protects against division by zero in the parabolic step.
+const TINY: f64 = 1e-300;
+/// Hard cap on iterations; Brent converges long before this.
+const MAX_ITER: u32 = 200;
+
+/// Minimizes `f` over the closed interval `[a, b]` to absolute argument
+/// tolerance `tol`.
+///
+/// The function need not be differentiable; for a unimodal function the
+/// returned point is the global minimum of the interval. For functions whose
+/// minimum sits at an endpoint the endpoint is returned (up to `tol`).
+///
+/// # Panics
+/// Panics if `a > b`, or if `tol` is not positive.
+pub fn minimize<F: FnMut(f64) -> f64>(mut f: F, a: f64, b: f64, tol: f64) -> Extremum {
+    assert!(a <= b, "minimize requires a <= b");
+    assert!(tol > 0.0, "minimize requires tol > 0");
+    let (mut lo, mut hi) = (a, b);
+    if lo == hi {
+        let value = f(lo);
+        return Extremum {
+            x: lo,
+            value,
+            evaluations: 1,
+        };
+    }
+
+    let mut evaluations = 0u32;
+    let mut eval = |x: f64, evals: &mut u32| {
+        *evals += 1;
+        f(x)
+    };
+
+    // x: best point so far; w: second best; v: previous w.
+    let mut x = lo + CGOLD * (hi - lo);
+    let mut w = x;
+    let mut v = x;
+    let mut fx = eval(x, &mut evaluations);
+    let mut fw = fx;
+    let mut fv = fx;
+    // Step taken on the iteration before last (e) and last step (d).
+    let mut e = 0.0f64;
+    let mut d = 0.0f64;
+
+    for _ in 0..MAX_ITER {
+        let mid = 0.5 * (lo + hi);
+        let tol1 = tol * x.abs() + tol * 0.1 + 1e-12;
+        let tol2 = 2.0 * tol1;
+        if (x - mid).abs() <= tol2 - 0.5 * (hi - lo) {
+            break;
+        }
+        let mut use_golden = true;
+        if e.abs() > tol1 {
+            // Fit a parabola through (v, fv), (w, fw), (x, fx).
+            let r = (x - w) * (fx - fv);
+            let q0 = (x - v) * (fx - fw);
+            let mut p = (x - v) * q0 - (x - w) * r;
+            let mut q = 2.0 * (q0 - r);
+            if q > 0.0 {
+                p = -p;
+            }
+            q = q.abs();
+            let e_prev = e;
+            e = d;
+            // Accept the parabolic step only if it falls inside the bracket
+            // and is smaller than half the step before last.
+            if p.abs() < (0.5 * q * e_prev).abs()
+                && p > q * (lo - x)
+                && p < q * (hi - x)
+                && q > TINY
+            {
+                d = p / q;
+                let u = x + d;
+                if u - lo < tol2 || hi - u < tol2 {
+                    d = if mid > x { tol1 } else { -tol1 };
+                }
+                use_golden = false;
+            }
+        }
+        if use_golden {
+            e = if x >= mid { lo - x } else { hi - x };
+            d = CGOLD * e;
+        }
+        let u = if d.abs() >= tol1 {
+            x + d
+        } else if d > 0.0 {
+            x + tol1
+        } else {
+            x - tol1
+        };
+        let fu = eval(u, &mut evaluations);
+        if fu <= fx {
+            if u >= x {
+                lo = x;
+            } else {
+                hi = x;
+            }
+            v = w;
+            fv = fw;
+            w = x;
+            fw = fx;
+            x = u;
+            fx = fu;
+        } else {
+            if u < x {
+                lo = u;
+            } else {
+                hi = u;
+            }
+            if fu <= fw || w == x {
+                v = w;
+                fv = fw;
+                w = u;
+                fw = fu;
+            } else if fu <= fv || v == x || v == w {
+                v = u;
+                fv = fu;
+            }
+        }
+    }
+
+    // The bracket endpoints may beat the interior point when the true
+    // minimum is at the boundary of the original interval.
+    let fa = eval(a, &mut evaluations);
+    let fb = eval(b, &mut evaluations);
+    let mut best = Extremum {
+        x,
+        value: fx,
+        evaluations,
+    };
+    if fa < best.value {
+        best.x = a;
+        best.value = fa;
+    }
+    if fb < best.value {
+        best.x = b;
+        best.value = fb;
+    }
+    best.evaluations = evaluations;
+    best
+}
+
+/// Maximizes `f` over `[a, b]` (wrapper over [`minimize`] of `-f`).
+pub fn maximize<F: FnMut(f64) -> f64>(mut f: F, a: f64, b: f64, tol: f64) -> Extremum {
+    let result = minimize(|x| -f(x), a, b, tol);
+    Extremum {
+        x: result.x,
+        value: -result.value,
+        evaluations: result.evaluations,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn finds_quadratic_minimum() {
+        let r = minimize(|x| (x - 1.25) * (x - 1.25) + 3.0, 0.0, 10.0, 1e-10);
+        assert!((r.x - 1.25).abs() < 1e-7, "x = {}", r.x);
+        assert!((r.value - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn finds_nontrivial_minimum() {
+        // min of x^4 - 2x^2 on [0, 3] is at x = 1.
+        let r = minimize(|x| x.powi(4) - 2.0 * x * x, 0.0, 3.0, 1e-10);
+        assert!((r.x - 1.0).abs() < 1e-6, "x = {}", r.x);
+        assert!((r.value + 1.0).abs() < 1e-10);
+    }
+
+    #[test]
+    fn handles_boundary_minimum() {
+        // Monotone increasing: minimum at the left endpoint.
+        let r = minimize(|x| x.exp(), -1.0, 5.0, 1e-9);
+        assert!((r.x + 1.0).abs() < 1e-5, "x = {}", r.x);
+    }
+
+    #[test]
+    fn handles_right_boundary_minimum() {
+        let r = minimize(|x| -x, 0.0, 2.0, 1e-9);
+        assert!((r.x - 2.0).abs() < 1e-5, "x = {}", r.x);
+    }
+
+    #[test]
+    fn maximize_flips_sign() {
+        let r = maximize(|x| -(x - 0.3) * (x - 0.3), 0.0, 1.0, 1e-10);
+        assert!((r.x - 0.3).abs() < 1e-6);
+        assert!(r.value.abs() < 1e-10);
+    }
+
+    #[test]
+    fn degenerate_interval() {
+        let r = minimize(|x| x * x, 2.0, 2.0, 1e-9);
+        assert_eq!(r.x, 2.0);
+        assert_eq!(r.value, 4.0);
+    }
+
+    #[test]
+    fn handles_steep_log_barrier() {
+        // Shape of the joint log-likelihood: -ln terms exploding at both
+        // boundaries with an interior maximum.
+        let f = |x: f64| 10.0 * x.ln() + 5.0 * (1.0 - x).ln();
+        let r = maximize(f, 1e-12, 1.0 - 1e-12, 1e-12);
+        // Analytic maximum at x = 10/15.
+        assert!((r.x - 10.0 / 15.0).abs() < 1e-6, "x = {}", r.x);
+    }
+
+    #[test]
+    fn uses_reasonable_evaluation_count() {
+        let r = minimize(|x| (x - 0.7).powi(2), 0.0, 1.0, 1e-10);
+        assert!(r.evaluations < 60, "used {} evaluations", r.evaluations);
+    }
+
+    #[test]
+    #[should_panic(expected = "a <= b")]
+    fn rejects_reversed_interval() {
+        minimize(|x| x, 1.0, 0.0, 1e-9);
+    }
+}

@@ -1,0 +1,128 @@
+//! Fisher information of the Jaccard similarity (paper Lemmas 15 and 19).
+//!
+//! For known cardinalities the register comparison counts (D⁺, D⁻, D₀) are
+//! multinomial and the Fisher information I(J) has a closed form. Its
+//! inverse square root is the asymptotic RMSE of the maximum-likelihood
+//! estimator (m → ∞) and provides the "theory" series of Figures 2, 6–9 and
+//! 13–18 of the paper.
+
+use crate::pb::p_b;
+
+/// Fisher information I(J) for base `b > 1` (Lemma 15).
+///
+/// `u` and `v` are the relative cardinalities n_U/(n_U+n_V) and
+/// n_V/(n_U+n_V) with `u + v = 1`; `j` must lie in `[0, min(u/v, v/u))`
+/// (the information diverges at the upper end of the interval).
+pub fn fisher_information(m: usize, b: f64, u: f64, v: f64, j: f64) -> f64 {
+    assert!(b > 1.0, "use fisher_information_b1 for the b -> 1 limit");
+    debug_assert!((u + v - 1.0).abs() < 1e-9);
+    let p_plus = p_b(b, u - v * j);
+    let p_minus = p_b(b, v - u * j);
+    let p_zero = 1.0 - p_plus - p_minus;
+    let bp_plus = b.powf(p_plus);
+    let bp_minus = b.powf(p_minus);
+    let factor = m as f64 * (b - 1.0) * (b - 1.0) / (b * b * b.ln() * b.ln());
+    factor
+        * ((v * bp_plus).powi(2) / p_plus
+            + (u * bp_minus).powi(2) / p_minus
+            + (v * bp_plus + u * bp_minus).powi(2) / p_zero)
+}
+
+/// Fisher information in the limit b → 1 (Lemma 19):
+/// I(J) = m·u·v·(1−J) / (J·(u−vJ)·(v−uJ)).
+pub fn fisher_information_b1(m: usize, u: f64, v: f64, j: f64) -> f64 {
+    debug_assert!((u + v - 1.0).abs() < 1e-9);
+    m as f64 * u * v * (1.0 - j) / (j * (u - v * j) * (v - u * j))
+}
+
+/// Asymptotic RMSE of the ML Jaccard estimator with known cardinalities:
+/// I(J)^{-1/2}. Pass `b == 1.0` for the MinHash-style limit.
+pub fn jaccard_rmse_theory(m: usize, b: f64, u: f64, v: f64, j: f64) -> f64 {
+    let info = if b == 1.0 {
+        fisher_information_b1(m, u, v, j)
+    } else {
+        fisher_information(m, b, u, v, j)
+    };
+    1.0 / info.sqrt()
+}
+
+/// RMSE of the classic MinHash estimator (fraction of equal registers):
+/// sqrt(J (1−J) / m). The reference line of Figures 2 and 4.
+pub fn minhash_rmse(m: usize, j: f64) -> f64 {
+    (j * (1.0 - j) / m as f64).sqrt()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn b1_limit_matches_small_b() {
+        for &j in &[0.1, 0.5, 0.9] {
+            for &(u, v) in &[(0.5f64, 0.5f64), (1.0 / 3.0, 2.0 / 3.0)] {
+                if j >= (u / v).min(v / u) {
+                    continue;
+                }
+                let exact = fisher_information(4096, 1.0 + 1e-7, u, v, j);
+                let limit = fisher_information_b1(4096, u, v, j);
+                assert!(
+                    ((exact - limit) / limit).abs() < 1e-4,
+                    "j={j} u={u}: {exact} vs {limit}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn equal_cardinality_b1_matches_minhash_bound() {
+        // Lemma 19 with u = v = 1/2 gives I^{-1/2} = sqrt(J(1-J)/m).
+        let m = 4096;
+        for &j in &[0.05, 0.3, 0.7, 0.95] {
+            let theory = jaccard_rmse_theory(m, 1.0, 0.5, 0.5, j);
+            let minhash = minhash_rmse(m, j);
+            assert!(((theory - minhash) / minhash).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn asymmetric_cardinalities_beat_minhash_for_b1() {
+        // Lemma 19: the ratio is <= 1, strictly below 1 when u != v.
+        let m = 256;
+        let (u, v) = (1.0 / 3.0, 2.0 / 3.0);
+        for &j in &[0.1, 0.3] {
+            let theory = jaccard_rmse_theory(m, 1.0, u, v, j);
+            assert!(theory < minhash_rmse(m, j));
+        }
+    }
+
+    #[test]
+    fn information_increases_with_m() {
+        let i_small = fisher_information(256, 2.0, 0.5, 0.5, 0.4);
+        let i_large = fisher_information(4096, 2.0, 0.5, 0.5, 0.4);
+        assert!((i_large / i_small - 16.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn rmse_ratio_grows_with_b_for_equal_sets() {
+        // Figure 2 (left): larger b means larger relative RMSE.
+        let m = 4096;
+        let j = 0.5;
+        let r_small = jaccard_rmse_theory(m, 1.001, 0.5, 0.5, j) / minhash_rmse(m, j);
+        let r_large = jaccard_rmse_theory(m, 2.0, 0.5, 0.5, j) / minhash_rmse(m, j);
+        assert!(r_small < r_large);
+        assert!((r_small - 1.0).abs() < 0.01, "b=1.001 ratio {r_small}");
+        assert!(r_large < 2.0, "b=2 ratio {r_large}");
+    }
+
+    #[test]
+    fn information_diverges_at_jaccard_limit() {
+        let (u, v) = (0.4, 0.6);
+        let j_max: f64 = (u / v_f(v, u)).min(v / u);
+        fn v_f(v: f64, _u: f64) -> f64 {
+            v
+        }
+        let near = fisher_information(100, 2.0, u, v, j_max - 1e-9);
+        let far = fisher_information(100, 2.0, u, v, j_max * 0.5);
+        assert!(near > 1e6 * far);
+    }
+}

@@ -1,0 +1,117 @@
+//! The function p_b and friends (paper §3.2).
+//!
+//! p_b(x) = −log_b(1 − x·(b−1)/b) maps the relative-cardinality expressions
+//! u − vJ and v − uJ to register-order probabilities (paper eq. (14)):
+//! P(K_Ui > K_Vi) ≈ p_b(u − vJ) and P(K_Ui < K_Vi) ≈ p_b(v − uJ).
+//! Lemma 17 establishes the limit p_b(x) → x as b → 1, which connects the
+//! SetSketch estimator to the MinHash closed form.
+
+/// Logarithm to base `b`.
+#[inline]
+pub fn log_b(b: f64, x: f64) -> f64 {
+    x.ln() / b.ln()
+}
+
+/// Evaluates p_b(x) = −log_b(1 − x·(b−1)/b) for `b > 1`, or the limit `x`
+/// for `b == 1`.
+///
+/// Valid for `x ∈ [0, 1]`; p_b(0) = 0 and p_b(1) = 1 for every b.
+#[inline]
+pub fn p_b(b: f64, x: f64) -> f64 {
+    debug_assert!((-1e-9..=1.0 + 1e-9).contains(&x), "p_b domain: x = {x}");
+    if b == 1.0 {
+        return x;
+    }
+    // ln(1 - x (b-1)/b) via ln_1p for accuracy near x = 0.
+    -(-x * (b - 1.0) / b).ln_1p() / b.ln()
+}
+
+/// First derivative p_b'(x) = (b−1)/(b·ln b) · b^{p_b(x)}
+/// (see proof of Lemma 15); equals 1 for `b == 1`.
+#[inline]
+pub fn p_b_derivative(b: f64, x: f64) -> f64 {
+    if b == 1.0 {
+        return 1.0;
+    }
+    let inner = 1.0 - x * (b - 1.0) / b;
+    (b - 1.0) / (b * b.ln()) / inner
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn endpoints_are_fixed() {
+        for &b in &[1.001, 1.2, 2.0, std::f64::consts::E] {
+            assert!(p_b(b, 0.0).abs() < 1e-15);
+            assert!((p_b(b, 1.0) - 1.0).abs() < 1e-12, "b = {b}");
+        }
+    }
+
+    #[test]
+    fn limit_b_to_one_is_identity() {
+        // Lemma 17.
+        for &x in &[0.0, 0.1, 0.5, 0.9, 1.0] {
+            let v = p_b(1.0 + 1e-9, x);
+            assert!((v - x).abs() < 1e-6, "x = {x}, p = {v}");
+            assert_eq!(p_b(1.0, x), x);
+        }
+    }
+
+    #[test]
+    fn p_b_is_convex_and_below_identity() {
+        // p_b' = (b-1)/(b ln b) · b^{p_b} is increasing in x, so p_b is
+        // convex; with fixed endpoints p_b(0) = 0 and p_b(1) = 1 it lies
+        // strictly below the identity in the interior.
+        for &b in &[1.5, 2.0] {
+            for i in 1..10 {
+                let x = i as f64 / 10.0;
+                assert!(p_b(b, x) < x, "b={b} x={x}");
+                // Convexity via midpoint check.
+                if x + 0.1 <= 1.0 {
+                    let mid = p_b(b, x);
+                    let chord = 0.5 * (p_b(b, x - 0.1) + p_b(b, x + 0.1));
+                    assert!(mid <= chord + 1e-12, "b={b} x={x}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn derivative_matches_finite_difference() {
+        let h = 1e-7;
+        for &b in &[1.1, 2.0, 2.5] {
+            for &x in &[0.05, 0.3, 0.7, 0.95] {
+                let numeric = (p_b(b, x + h) - p_b(b, x - h)) / (2.0 * h);
+                let analytic = p_b_derivative(b, x);
+                assert!(
+                    ((numeric - analytic) / analytic).abs() < 1e-6,
+                    "b={b} x={x}: {numeric} vs {analytic}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn derivative_identity_b_pow_p() {
+        // p_b'(x) = (b-1)/(b ln b) * b^{p_b(x)}.
+        for &b in &[1.3, 2.0] {
+            for &x in &[0.2, 0.6] {
+                let lhs = p_b_derivative(b, x);
+                let rhs = (b - 1.0) / (b * b.ln()) * b.powf(p_b(b, x));
+                assert!(((lhs - rhs) / rhs).abs() < 1e-12);
+            }
+        }
+    }
+
+    #[test]
+    fn log_b_inverts_powf() {
+        for &b in &[1.001, 2.0, 10.0] {
+            for &x in &[0.5, 3.0, 100.0] {
+                assert!((log_b(b, b.powf(x)) - x).abs() < 1e-9 * x.abs().max(1.0));
+                let _ = x;
+            }
+        }
+    }
+}

@@ -1,0 +1,188 @@
+//! The series σ_b and τ_b of the corrected cardinality estimator
+//! (paper eq. (18) and Appendix B).
+//!
+//! The corrected estimator replaces the contribution of saturated registers
+//! (value 0 or q+1) by expectations under the register value distribution:
+//!
+//! * σ_b(x) = x + (b−1) Σ_{k≥1} b^{k−1} x^{b^k} handles registers clipped
+//!   at 0 (x is the fraction C₀/m of zero registers),
+//! * τ_b(x) = 1 − x + (b−1) Σ_{k≥0} b^{−k−1} (x^{b^{−k}} − 1) handles
+//!   registers clipped at q+1 (x is 1 − C_{q+1}/m).
+//!
+//! For b = 2 these specialize to the HyperLogLog estimator of
+//! Ertl (arXiv:1702.01284) used in Redis.
+
+/// Evaluates σ_b(x) for `x ∈ [0, 1]`; σ_b(1) diverges and returns
+/// `f64::INFINITY` (an all-zero sketch must estimate cardinality 0).
+///
+/// # Panics
+/// Panics if `b <= 1` or `x` is outside `[0, 1]`.
+pub fn sigma_b(b: f64, x: f64) -> f64 {
+    assert!(b > 1.0, "sigma_b requires b > 1");
+    assert!((0.0..=1.0).contains(&x), "sigma_b requires x in [0, 1]");
+    if x == 0.0 {
+        return 0.0;
+    }
+    if x == 1.0 {
+        return f64::INFINITY;
+    }
+    let ln_b = b.ln();
+    let ln_x = x.ln(); // < 0
+    let mut sum = 0.0f64;
+    let mut k = 1u64;
+    loop {
+        // term = b^{k-1} x^{b^k} = exp((k-1) ln b + b^k ln x)
+        let bk = ((k as f64) * ln_b).exp();
+        let exponent = (k as f64 - 1.0) * ln_b + bk * ln_x;
+        if exponent < -745.0 {
+            break; // underflows to zero; all later terms are even smaller
+        }
+        sum += exponent.exp();
+        k += 1;
+        if k > 100_000_000 {
+            break; // safety stop; unreachable for b > 1 + 1e-7
+        }
+    }
+    x + (b - 1.0) * sum
+}
+
+/// Evaluates τ_b(x) for `x ∈ [0, 1]`; τ_b(0) = τ_b(1) = 0.
+///
+/// # Panics
+/// Panics if `b <= 1` or `x` is outside `[0, 1]`.
+pub fn tau_b(b: f64, x: f64) -> f64 {
+    assert!(b > 1.0, "tau_b requires b > 1");
+    assert!((0.0..=1.0).contains(&x), "tau_b requires x in [0, 1]");
+    if x == 0.0 || x == 1.0 {
+        return 0.0;
+    }
+    let ln_b = b.ln();
+    let ln_x = x.ln();
+    let mut sum = 0.0f64;
+    let mut k = 0u64;
+    loop {
+        // term = b^{-k-1} (x^{b^{-k}} - 1); x^{b^{-k}} - 1 = expm1(b^{-k} ln x)
+        let b_neg_k = (-(k as f64) * ln_b).exp();
+        let weight = (-((k as f64) + 1.0) * ln_b).exp();
+        let term = weight * (b_neg_k * ln_x).exp_m1();
+        sum += term;
+        // |term| ~ b^{-2k-1} |ln x| for large k: geometric decay.
+        if term.abs() < (1.0 - x).abs() * 1e-18 + 1e-300 {
+            break;
+        }
+        k += 1;
+        if k > 100_000_000 {
+            break; // safety stop; unreachable for b > 1 + 1e-7
+        }
+    }
+    1.0 - x + (b - 1.0) * sum
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Direct (non-telescoped) evaluation of sigma from its definition as
+    /// Σ_{k<=0} estimated histogram mass, used as an independent oracle:
+    /// sigma_b(x) = Σ_{k=1..∞} b^{k-1} (x^{b^{k-1}} - x^{b^k}) ... the
+    /// telescoped identity of Appendix B.
+    fn sigma_oracle(b: f64, x: f64) -> f64 {
+        let mut sum = 0.0;
+        for k in 1..2000 {
+            let bk1 = b.powi(k - 1);
+            let bk = b.powi(k);
+            let term = bk1 * (x.powf(bk1) - x.powf(bk));
+            sum += term;
+            if term.abs() < 1e-18 && k > 8 {
+                break;
+            }
+        }
+        sum
+    }
+
+    fn tau_oracle(b: f64, x: f64) -> f64 {
+        let mut sum = 0.0;
+        for k in 0..2000 {
+            let bq_k = b.powi(-k); // b^{q-k} with q = 0 shift
+            let bq_k1 = b.powi(-k - 1);
+            let term = bq_k1 * (x.powf(bq_k1) - x.powf(bq_k));
+            sum += term;
+        }
+        sum
+    }
+
+    #[test]
+    fn sigma_matches_untelescoped_oracle() {
+        for &b in &[1.2, 2.0, 3.0] {
+            for &x in &[0.01, 0.25, 0.5, 0.9, 0.999] {
+                let fast = sigma_b(b, x);
+                let slow = sigma_oracle(b, x);
+                assert!(
+                    (fast - slow).abs() <= 1e-9 * slow.abs().max(1.0),
+                    "b={b} x={x}: {fast} vs {slow}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn tau_matches_untelescoped_oracle() {
+        for &b in &[1.3, 2.0, 4.0] {
+            for &x in &[0.05, 0.5, 0.95] {
+                let fast = tau_b(b, x);
+                let slow = tau_oracle(b, x);
+                assert!(
+                    (fast - slow).abs() <= 1e-9 * slow.abs().max(1e-6),
+                    "b={b} x={x}: {fast} vs {slow}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn sigma_boundary_values() {
+        assert_eq!(sigma_b(2.0, 0.0), 0.0);
+        assert!(sigma_b(2.0, 1.0).is_infinite());
+    }
+
+    #[test]
+    fn tau_boundary_values() {
+        assert_eq!(tau_b(2.0, 0.0), 0.0);
+        assert_eq!(tau_b(2.0, 1.0), 0.0);
+    }
+
+    #[test]
+    fn sigma_is_monotonically_increasing() {
+        let mut prev = 0.0;
+        for i in 1..100 {
+            let x = i as f64 / 100.0;
+            let v = sigma_b(2.0, x);
+            assert!(v > prev, "sigma not increasing at x={x}");
+            prev = v;
+        }
+    }
+
+    #[test]
+    fn tau_is_nonnegative() {
+        for &b in &[1.1, 2.0, 8.0] {
+            for i in 0..=100 {
+                let x = i as f64 / 100.0;
+                let v = tau_b(b, x);
+                assert!(v >= 0.0, "tau_b({b}, {x}) = {v}");
+            }
+        }
+    }
+
+    #[test]
+    fn sigma_converges_for_b_near_one() {
+        // x close to 1 and b close to 1 is the stress case for convergence.
+        let v = sigma_b(1.001, 1.0 - 1.0 / 4096.0);
+        assert!(v.is_finite() && v > 0.0);
+    }
+
+    #[test]
+    fn tau_converges_for_b_near_one() {
+        let v = tau_b(1.001, 0.5);
+        assert!(v.is_finite() && v >= 0.0);
+    }
+}

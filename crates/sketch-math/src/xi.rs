@@ -1,0 +1,140 @@
+//! The periodic functions ξ¹_b and ξ²_b (paper eq. (9), Lemmas 6, 8, 10).
+//!
+//! ξˢ_b(x) = (ln b / Γ(s)) · Σ_{k=-∞}^{∞} b^{s(x-k)} e^{-b^{x-k}} is periodic
+//! in x with period 1 and oscillates around 1. The cardinality estimator of
+//! the paper replaces it by the constant 1; Lemmas 8 and 10 bound the error
+//! of that approximation by ~10⁻⁵ (s = 1) and ~10⁻⁴ (s = 2) for b ≤ 2.
+//! Figure 11 of the paper plots the maximum deviation as a function of b,
+//! which [`xi_max_deviation`] regenerates.
+
+/// Evaluates ξˢ_b(x) for `s ∈ {1, 2}` by direct series summation.
+///
+/// Terms are evaluated in log space so that neither the double-exponential
+/// decay towards k → -∞ nor the geometric decay towards k → +∞ overflows.
+///
+/// # Panics
+/// Panics if `b <= 1` or `s` is not 1 or 2.
+pub fn xi(s: u32, b: f64, x: f64) -> f64 {
+    assert!(b > 1.0, "xi requires b > 1");
+    assert!(s == 1 || s == 2, "xi is implemented for s in {{1, 2}}");
+    let ln_b = b.ln();
+    // Γ(1) = 1, Γ(2) = 1.
+    let scale = ln_b;
+    let sf = s as f64;
+
+    // Reduce x to one period; the function is periodic with period 1.
+    let x = x - x.floor();
+
+    let term = |k: i64| -> f64 {
+        let t = x - k as f64;
+        let bt = (t * ln_b).exp();
+        // b^{s t} e^{-b^t} = exp(s t ln b - b^t)
+        (sf * t * ln_b - bt).exp()
+    };
+
+    let mut sum = term(0);
+    // k -> +infinity: geometric decay with ratio b^{-s}.
+    let mut k = 1i64;
+    loop {
+        let v = term(k);
+        sum += v;
+        if v < sum * 1e-18 || k > 20_000_000 {
+            break;
+        }
+        k += 1;
+    }
+    // k -> -infinity: double-exponential decay.
+    let mut k = -1i64;
+    loop {
+        let v = term(k);
+        sum += v;
+        if v < sum * 1e-18 || k < -10_000 {
+            break;
+        }
+        k -= 1;
+    }
+    scale * sum
+}
+
+/// Maximum deviation of ξˢ_b from 1 over one period, `max_x |ξˢ_b(x) − 1|`,
+/// scanned on a uniform grid of `grid` points (paper Figure 11).
+pub fn xi_max_deviation(s: u32, b: f64, grid: usize) -> f64 {
+    (0..grid)
+        .map(|i| (xi(s, b, i as f64 / grid as f64) - 1.0).abs())
+        .fold(0.0, f64::max)
+}
+
+/// Analytic upper bound of Lemma 8 for `max_x |ξ¹_b(x) − 1|`.
+pub fn xi1_deviation_bound(b: f64) -> f64 {
+    assert!(b > 1.0);
+    let y = 2.0 * std::f64::consts::PI * std::f64::consts::PI / b.ln();
+    2.0 / ((y.sinh() / y).sqrt() - 1.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn xi_is_close_to_one_for_b2() {
+        // Lemma 8: |xi1_2(x) - 1| < 9.885e-6; Lemma 10: |xi2_2(x) - 1| < 9.015e-5.
+        for i in 0..50 {
+            let x = i as f64 / 50.0;
+            assert!((xi(1, 2.0, x) - 1.0).abs() < 9.885e-6, "xi1 at x={x}");
+            assert!((xi(2, 2.0, x) - 1.0).abs() < 9.015e-5, "xi2 at x={x}");
+        }
+    }
+
+    #[test]
+    fn xi_is_periodic() {
+        for &b in &[1.2, 2.0, 3.0] {
+            for &x in &[0.1, 0.35, 0.99] {
+                let a = xi(1, b, x);
+                let c = xi(1, b, x + 3.0);
+                assert!((a - c).abs() < 1e-12 * a.abs());
+            }
+        }
+    }
+
+    #[test]
+    fn xi_deviation_grows_with_b() {
+        let d2 = xi_max_deviation(1, 2.0, 64);
+        let d3 = xi_max_deviation(1, 3.0, 64);
+        let d5 = xi_max_deviation(1, 5.0, 64);
+        assert!(d2 < d3 && d3 < d5);
+    }
+
+    #[test]
+    fn xi_deviation_respects_lemma8_bound() {
+        for &b in &[1.5, 2.0, 3.0, 5.0] {
+            let measured = xi_max_deviation(1, b, 128);
+            let bound = xi1_deviation_bound(b);
+            assert!(
+                measured <= bound * (1.0 + 1e-9),
+                "b={b}: measured {measured} > bound {bound}"
+            );
+        }
+    }
+
+    #[test]
+    fn xi2_deviation_larger_than_xi1() {
+        // Figure 11: the s = 2 curve lies above the s = 1 curve.
+        for &b in &[1.5, 2.0, 3.0] {
+            assert!(xi_max_deviation(2, b, 64) > xi_max_deviation(1, b, 64));
+        }
+    }
+
+    #[test]
+    fn xi_converges_for_small_b() {
+        // b close to 1 needs many geometric terms; the series must still
+        // converge to ~1 with tiny deviation.
+        let v = xi(1, 1.05, 0.4);
+        assert!((v - 1.0).abs() < 1e-10, "xi = {v}");
+    }
+
+    #[test]
+    #[should_panic(expected = "b > 1")]
+    fn xi_rejects_b_one() {
+        xi(1, 1.0, 0.0);
+    }
+}

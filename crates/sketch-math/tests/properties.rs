@@ -1,0 +1,101 @@
+//! Property-based tests of the numerical substrate.
+
+use proptest::prelude::*;
+use sketch_math::{
+    brent, harmonic, p_b, p_b_derivative, sigma_b, tau_b, BinomialPmf, PowerTable,
+    RunningMoments,
+};
+
+proptest! {
+    /// Brent finds the minimum of arbitrary shifted parabolas.
+    #[test]
+    fn brent_solves_parabolas(center in -100.0f64..100.0, scale in 0.01f64..100.0) {
+        let r = brent::minimize(|x| scale * (x - center) * (x - center), -200.0, 200.0, 1e-10);
+        prop_assert!((r.x - center).abs() < 1e-5, "found {} for center {center}", r.x);
+    }
+
+    /// p_b maps [0,1] into [0,1] monotonically for every base in the
+    /// supported range.
+    #[test]
+    fn p_b_is_monotone_into_unit_interval(b in 1.000001f64..2.8) {
+        let mut prev = 0.0f64;
+        for i in 0..=50 {
+            let x = i as f64 / 50.0;
+            let p = p_b(b, x);
+            prop_assert!((0.0..=1.0 + 1e-12).contains(&p));
+            prop_assert!(p >= prev - 1e-12);
+            prop_assert!(p_b_derivative(b, x) > 0.0);
+            prev = p;
+        }
+    }
+
+    /// sigma and tau stay nonnegative and finite on the open unit interval
+    /// for arbitrary bases.
+    #[test]
+    fn sigma_tau_are_well_behaved(b in 1.0001f64..8.0, x in 0.001f64..0.999) {
+        let s = sigma_b(b, x);
+        prop_assert!(s.is_finite() && s > 0.0);
+        let t = tau_b(b, x);
+        prop_assert!(t.is_finite() && t >= 0.0);
+    }
+
+    /// The power-table update value agrees with the direct formula for
+    /// arbitrary bases and inputs.
+    #[test]
+    fn power_table_matches_formula(
+        b in 1.001f64..3.0,
+        q in 1u32..500,
+        x in 1e-12f64..2.0,
+    ) {
+        let table = PowerTable::new(b, q);
+        let got = table.update_value(x);
+        let want = (1.0 - x.ln() / b.ln()).floor().clamp(0.0, q as f64 + 1.0) as u32;
+        // The binary search resolves ties at exact powers differently from
+        // the float formula; allow one step at boundaries.
+        prop_assert!((got as i64 - want as i64).abs() <= 1, "{got} vs {want}");
+    }
+
+    /// Binomial pmfs sum to one for arbitrary parameters.
+    #[test]
+    fn binomial_pmf_normalizes(n in 1usize..300, p in 0.0f64..1.0) {
+        let pmf = BinomialPmf::new(n);
+        let total = pmf.expectation(n, p, |_| 1.0);
+        prop_assert!((total - 1.0).abs() < 1e-9, "total {total}");
+    }
+
+    /// Moment accumulator merging equals sequential accumulation for any
+    /// split point.
+    #[test]
+    fn moments_merge_anywhere(
+        data in proptest::collection::vec(-100.0f64..100.0, 2..60),
+        split_frac in 0.0f64..1.0,
+    ) {
+        let split = ((data.len() as f64 * split_frac) as usize).min(data.len());
+        let mut all = RunningMoments::new();
+        for &x in &data {
+            all.push(x);
+        }
+        let mut left = RunningMoments::new();
+        let mut right = RunningMoments::new();
+        for &x in &data[..split] {
+            left.push(x);
+        }
+        for &x in &data[split..] {
+            right.push(x);
+        }
+        left.merge(&right);
+        prop_assert!((left.mean() - all.mean()).abs() < 1e-8);
+        prop_assert!((left.variance() - all.variance()).abs() < 1e-6);
+    }
+
+    /// Harmonic numbers are increasing and bounded by 1 + ln m.
+    #[test]
+    fn harmonic_bounds(m in 1usize..10_000) {
+        let h = harmonic(m);
+        prop_assert!(h >= (m as f64).ln());
+        prop_assert!(h <= 1.0 + (m as f64).ln());
+        if m > 1 {
+            prop_assert!(h > harmonic(m - 1));
+        }
+    }
+}

@@ -1,0 +1,177 @@
+//! Pseudorandom substrate for the SetSketch reproduction.
+//!
+//! The paper (Ertl, "SetSketch: Filling the Gap between MinHash and
+//! HyperLogLog", VLDB 2021, §5.1) builds its reference implementation on a
+//! small set of randomness primitives:
+//!
+//! * the **Wyrand** pseudorandom generator, seeded with the element to be
+//!   inserted, whose random bits are consumed economically,
+//! * a high-quality **64-bit hash** so that arbitrary elements behave like
+//!   uniform random values,
+//! * **Lemire's method** for sampling random integers from an interval,
+//! * incremental **Fisher–Yates shuffling** for sampling register indices
+//!   without replacement in constant time per sample,
+//! * the **ziggurat method** for exponentially distributed values and an
+//!   efficient sampler for the **truncated exponential distribution**
+//!   (needed by SetSketch2).
+//!
+//! All of these are implemented here from scratch. The crate has no
+//! dependencies; the `rand` crate is used only in tests as an independent
+//! reference.
+
+pub mod bitstream;
+pub mod exponential;
+pub mod hash;
+pub mod shuffle;
+pub mod splitmix64;
+pub mod wyrand;
+
+pub use bitstream::BitStream;
+pub use exponential::{exp_inverse_cdf, truncated_exp, ExpZiggurat};
+pub use hash::{hash_bytes, hash_of, hash_u64, WyHasher};
+pub use shuffle::IncrementalShuffle;
+pub use splitmix64::{mix64, unmix64, SplitMix64};
+pub use wyrand::WyRand;
+
+/// Minimal interface for 64-bit pseudorandom generators.
+///
+/// The provided methods implement the derived samplers used throughout the
+/// workspace (unit-interval doubles, Lemire bounded integers, exponential
+/// variates). All provided methods are deterministic functions of the raw
+/// `next_u64` stream, so two generators with the same seed produce identical
+/// derived samples.
+pub trait Rng64 {
+    /// Returns the next 64 uniformly distributed random bits.
+    fn next_u64(&mut self) -> u64;
+
+    /// Returns a double uniformly distributed in the half-open interval
+    /// `[0, 1)`, using the top 53 bits of one 64-bit word.
+    #[inline]
+    fn unit_exclusive(&mut self) -> f64 {
+        // 2^-53; top 53 bits give every representable multiple of 2^-53.
+        (self.next_u64() >> 11) as f64 * 1.110_223_024_625_156_5e-16
+    }
+
+    /// Returns a double uniformly distributed in the half-open interval
+    /// `(0, 1]`. Suitable as input to `-ln(u)` without a zero check.
+    #[inline]
+    fn unit_positive(&mut self) -> f64 {
+        ((self.next_u64() >> 11) + 1) as f64 * 1.110_223_024_625_156_5e-16
+    }
+
+    /// Returns an unbiased uniform integer in `[0, n)` using Lemire's
+    /// multiply-shift rejection method (Lemire, ACM TOMACS 2019).
+    ///
+    /// # Panics
+    /// Panics if `n == 0`.
+    #[inline]
+    fn next_below(&mut self, n: u64) -> u64 {
+        assert!(n > 0, "next_below requires n > 0");
+        let mut x = self.next_u64();
+        let mut m = (x as u128) * (n as u128);
+        let mut low = m as u64;
+        if low < n {
+            // Rejection threshold: 2^64 mod n, computed without u128 division.
+            let threshold = n.wrapping_neg() % n;
+            while low < threshold {
+                x = self.next_u64();
+                m = (x as u128) * (n as u128);
+                low = m as u64;
+            }
+        }
+        let _ = x;
+        (m >> 64) as u64
+    }
+
+    /// Returns an exponentially distributed value with the given `rate`
+    /// using the inverse-CDF method.
+    #[inline]
+    fn exponential(&mut self, rate: f64) -> f64 {
+        exp_inverse_cdf(self.unit_positive()) / rate
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unit_exclusive_is_in_range() {
+        let mut rng = WyRand::new(1);
+        for _ in 0..10_000 {
+            let u = rng.unit_exclusive();
+            assert!((0.0..1.0).contains(&u));
+        }
+    }
+
+    #[test]
+    fn unit_positive_is_in_range() {
+        let mut rng = WyRand::new(2);
+        for _ in 0..10_000 {
+            let u = rng.unit_positive();
+            assert!(u > 0.0 && u <= 1.0);
+        }
+    }
+
+    #[test]
+    fn next_below_stays_below_bound() {
+        let mut rng = WyRand::new(3);
+        for n in [1u64, 2, 3, 7, 100, 1 << 33] {
+            for _ in 0..1000 {
+                assert!(rng.next_below(n) < n);
+            }
+        }
+    }
+
+    #[test]
+    fn next_below_one_is_always_zero() {
+        let mut rng = WyRand::new(4);
+        for _ in 0..100 {
+            assert_eq!(rng.next_below(1), 0);
+        }
+    }
+
+    #[test]
+    fn next_below_is_roughly_uniform() {
+        let mut rng = WyRand::new(5);
+        let n = 10u64;
+        let mut counts = [0u64; 10];
+        let samples = 100_000;
+        for _ in 0..samples {
+            counts[rng.next_below(n) as usize] += 1;
+        }
+        let expected = samples as f64 / n as f64;
+        for &c in &counts {
+            let deviation = (c as f64 - expected).abs() / expected;
+            assert!(deviation < 0.05, "bucket deviates by {deviation}");
+        }
+    }
+
+    #[test]
+    fn exponential_matches_moments() {
+        let mut rng = WyRand::new(6);
+        let rate = 2.5;
+        let n = 200_000;
+        let mut sum = 0.0;
+        let mut sum_sq = 0.0;
+        for _ in 0..n {
+            let x = rng.exponential(rate);
+            assert!(x >= 0.0);
+            sum += x;
+            sum_sq += x * x;
+        }
+        let mean = sum / n as f64;
+        let var = sum_sq / n as f64 - mean * mean;
+        assert!((mean - 1.0 / rate).abs() < 0.01);
+        assert!((var - 1.0 / (rate * rate)).abs() < 0.02);
+    }
+
+    #[test]
+    fn panics_on_zero_bound() {
+        let result = std::panic::catch_unwind(|| {
+            let mut rng = WyRand::new(7);
+            rng.next_below(0)
+        });
+        assert!(result.is_err());
+    }
+}

@@ -1,0 +1,79 @@
+//! Property-based tests of the randomness substrate.
+
+use proptest::prelude::*;
+use sketch_rand::{mix64, truncated_exp, unmix64, IncrementalShuffle, Rng64, WyRand};
+
+proptest! {
+    /// mix64 is a bijection: unmix64 inverts it everywhere.
+    #[test]
+    fn mix64_is_bijective(x in any::<u64>()) {
+        prop_assert_eq!(unmix64(mix64(x)), x);
+        prop_assert_eq!(mix64(unmix64(x)), x);
+    }
+
+    /// next_below produces values strictly below arbitrary bounds.
+    #[test]
+    fn next_below_respects_arbitrary_bounds(seed in any::<u64>(), n in 1u64..u64::MAX) {
+        let mut rng = WyRand::new(seed);
+        for _ in 0..50 {
+            prop_assert!(rng.next_below(n) < n);
+        }
+    }
+
+    /// Unit-interval samplers stay inside their documented ranges for any
+    /// seed.
+    #[test]
+    fn unit_samplers_stay_in_range(seed in any::<u64>()) {
+        let mut rng = WyRand::new(seed);
+        for _ in 0..100 {
+            let x = rng.unit_exclusive();
+            prop_assert!((0.0..1.0).contains(&x));
+            let y = rng.unit_positive();
+            prop_assert!(y > 0.0 && y <= 1.0);
+        }
+    }
+
+    /// Truncated exponential sampling lands inside arbitrary intervals.
+    #[test]
+    fn truncated_exp_in_interval(
+        seed in any::<u64>(),
+        rate in 0.001f64..100.0,
+        lo in 0.0f64..50.0,
+        width in 1e-6f64..50.0,
+    ) {
+        let mut rng = WyRand::new(seed);
+        let hi = lo + width;
+        for _ in 0..20 {
+            let x = truncated_exp(&mut rng, rate, lo, hi);
+            prop_assert!((lo..hi).contains(&x), "x = {x} not in [{lo}, {hi})");
+        }
+    }
+
+    /// The incremental shuffle emits each index exactly once per
+    /// generation for arbitrary domain sizes.
+    #[test]
+    fn shuffle_is_a_permutation(seed in any::<u64>(), m in 1usize..200) {
+        let mut shuffle = IncrementalShuffle::new(m);
+        let mut rng = WyRand::new(seed);
+        let mut seen = vec![false; m];
+        for _ in 0..m {
+            let v = shuffle.next(&mut rng) as usize;
+            prop_assert!(!seen[v]);
+            seen[v] = true;
+        }
+        prop_assert!(seen.iter().all(|&s| s));
+    }
+
+    /// Equal seeds give equal streams; different seeds diverge quickly.
+    #[test]
+    fn wyrand_determinism(seed in any::<u64>()) {
+        let mut a = WyRand::new(seed);
+        let mut b = WyRand::new(seed);
+        for _ in 0..20 {
+            prop_assert_eq!(a.next_u64(), b.next_u64());
+        }
+        let mut c = WyRand::new(seed.wrapping_add(1));
+        let equal = (0..20).filter(|_| a.next_u64() == c.next_u64()).count();
+        prop_assert!(equal < 3);
+    }
+}

@@ -1,0 +1,60 @@
+//! Smoke test: every figure driver of the experiment harness runs end to
+//! end at tiny scale and produces a well-formed table. Guards the full
+//! reproduction pipeline (workloads -> sketches -> estimators -> tables)
+//! against regressions.
+
+use simulation::{run_figure, Scale, ALL_FIGURES};
+
+fn tiny_scale() -> Scale {
+    Scale {
+        cycles: 3,
+        n_max: 120,
+        pairs: 2,
+        union_large: 1500,
+        union_small: 200,
+        union_large_minwise: 600,
+        ratio_points_per_side: 1,
+        m_joint: 32,
+        m_minwise: 32,
+        recording_n_max: 500,
+        recording_runs: 1,
+        threads: 2,
+    }
+}
+
+#[test]
+fn every_figure_runs_and_is_well_formed() {
+    let scale = tiny_scale();
+    for name in ALL_FIGURES {
+        let table = run_figure(name, &scale);
+        assert!(!table.rows.is_empty(), "{name} produced no rows");
+        assert!(!table.columns.is_empty(), "{name} has no columns");
+        for (i, row) in table.rows.iter().enumerate() {
+            assert_eq!(
+                row.len(),
+                table.columns.len(),
+                "{name} row {i} is ragged"
+            );
+            for cell in row {
+                assert!(!cell.is_empty(), "{name} row {i} has an empty cell");
+            }
+        }
+        // The text rendering must not panic and must contain the name.
+        assert!(table.to_text().contains(&table.name));
+    }
+}
+
+#[test]
+fn figures_write_csv_files() {
+    let scale = tiny_scale();
+    let dir = std::env::temp_dir().join("setsketch-figures-smoke");
+    let _ = std::fs::remove_dir_all(&dir);
+    for name in ["fig1", "fig3", "fig11"] {
+        let table = run_figure(name, &scale);
+        let path = table.write_csv(&dir).expect("csv written");
+        let content = std::fs::read_to_string(path).expect("csv readable");
+        let lines: Vec<&str> = content.lines().collect();
+        assert_eq!(lines.len(), table.rows.len() + 1);
+        assert_eq!(lines[0].split(',').count(), table.columns.len());
+    }
+}

@@ -1,0 +1,292 @@
+//! Property-based tests (proptest) of the core invariants.
+//!
+//! These complement the example-based unit tests with randomized checks
+//! of the laws that must hold for *every* input: set-semantics of the
+//! insert/merge algebra, estimator feasibility ranges, codec losslessness
+//! and workload-generator consistency.
+
+use hyperloglog::{GhllConfig, GhllSketch};
+use hyperminhash::{HyperMinHash, HyperMinHashConfig};
+use proptest::collection::vec;
+use proptest::prelude::*;
+use setsketch::codec::{pack_registers, unpack_registers};
+use setsketch::{SetSketch1, SetSketch2, SetSketchConfig};
+use sketch_math::{inclusion_exclusion_jaccard, ml_jaccard, ml_jaccard_b1, JointCounts};
+use simulation::workload::SetPair;
+use thetasketch::ThetaSketch;
+
+fn small_config() -> SetSketchConfig {
+    SetSketchConfig::new(32, 2.0, 20.0, 62).unwrap()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// The sketch state depends only on the *set* of inserted elements:
+    /// order and multiplicity never matter.
+    #[test]
+    fn state_is_a_function_of_the_set(
+        mut elements in vec(0u64..1000, 1..60),
+        seed in 0u64..8,
+    ) {
+        let mut in_order = SetSketch1::new(small_config(), seed);
+        for &e in &elements {
+            in_order.insert_u64(e);
+        }
+        elements.sort_unstable();
+        elements.dedup();
+        elements.reverse();
+        let mut deduped_reversed = SetSketch1::new(small_config(), seed);
+        for &e in &elements {
+            deduped_reversed.insert_u64(e);
+            deduped_reversed.insert_u64(e);
+        }
+        prop_assert_eq!(in_order, deduped_reversed);
+    }
+
+    /// merge(sketch(A), sketch(B)) == sketch(A ∪ B), for SetSketch2.
+    #[test]
+    fn merge_is_union(
+        a in vec(0u64..500, 0..40),
+        b in vec(0u64..500, 0..40),
+    ) {
+        let cfg = small_config();
+        let mut sa = SetSketch2::new(cfg, 1);
+        let mut sb = SetSketch2::new(cfg, 1);
+        let mut sab = SetSketch2::new(cfg, 1);
+        for &e in &a {
+            sa.insert_u64(e);
+            sab.insert_u64(e);
+        }
+        for &e in &b {
+            sb.insert_u64(e);
+            sab.insert_u64(e);
+        }
+        prop_assert_eq!(sa.merged(&sb).unwrap(), sab);
+    }
+
+    /// Register values never decrease as more elements arrive, and K_low
+    /// stays a valid lower bound throughout.
+    #[test]
+    fn registers_grow_and_bound_stays_valid(
+        batches in vec(vec(0u64..10_000, 1..50), 1..6),
+    ) {
+        let mut sketch = SetSketch1::new(small_config(), 3);
+        let mut previous = sketch.registers().to_vec();
+        for batch in &batches {
+            for &e in batch {
+                sketch.insert_u64(e);
+            }
+            let current = sketch.registers().to_vec();
+            for (p, c) in previous.iter().zip(&current) {
+                prop_assert!(c >= p);
+            }
+            let min = current.iter().copied().min().unwrap();
+            prop_assert!(sketch.k_low() <= min);
+            previous = current;
+        }
+    }
+
+    /// Cardinality estimates are finite, nonnegative, and zero exactly for
+    /// the empty sketch (in unsaturated configurations).
+    #[test]
+    fn cardinality_estimates_are_feasible(elements in vec(0u64..100_000, 0..100)) {
+        let mut sketch = SetSketch1::new(small_config(), 4);
+        for &e in &elements {
+            sketch.insert_u64(e);
+        }
+        let estimate = sketch.estimate_cardinality();
+        if elements.is_empty() {
+            prop_assert_eq!(estimate, 0.0);
+        } else {
+            prop_assert!(estimate.is_finite());
+            prop_assert!(estimate > 0.0);
+        }
+    }
+
+    /// The ML Jaccard estimate always lies in the feasible interval
+    /// [0, min(u/v, v/u)] for arbitrary counts.
+    #[test]
+    fn ml_jaccard_stays_feasible(
+        d_plus in 0u32..200,
+        d_minus in 0u32..200,
+        d0 in 0u32..200,
+        n_u in 1.0f64..1e6,
+        n_v in 1.0f64..1e6,
+        b in 1.0001f64..2.7,
+    ) {
+        let counts = JointCounts::new(d_plus, d_minus, d0);
+        let total = n_u + n_v;
+        let (u, v) = (n_u / total, n_v / total);
+        let j = ml_jaccard(counts, b, u, v);
+        let j_max = (u / v).min(v / u);
+        prop_assert!((0.0..=j_max + 1e-9).contains(&j), "j = {j}, max {j_max}");
+    }
+
+    /// The closed form (17) agrees with Brent maximization near b = 1.
+    #[test]
+    fn closed_form_matches_numerical_ml(
+        d_plus in 0u32..500,
+        d_minus in 0u32..500,
+        d0 in 0u32..500,
+        u_scaled in 1u32..99,
+    ) {
+        prop_assume!(d_plus + d_minus + d0 > 0);
+        let u = u_scaled as f64 / 100.0;
+        let v = 1.0 - u;
+        let counts = JointCounts::new(d_plus, d_minus, d0);
+        let closed = ml_jaccard_b1(counts, u, v);
+        let numerical = ml_jaccard(counts, 1.0 + 1e-9, u, v);
+        prop_assert!((closed - numerical).abs() < 1e-4,
+            "closed {closed} vs numerical {numerical}");
+    }
+
+    /// Inclusion-exclusion output is always inside the feasible range.
+    #[test]
+    fn inclusion_exclusion_stays_feasible(
+        n_u in 0.0f64..1e9,
+        n_v in 0.0f64..1e9,
+        n_union in 0.0f64..2e9,
+    ) {
+        let j = inclusion_exclusion_jaccard(n_u, n_v, n_union);
+        prop_assert!(j >= 0.0);
+        prop_assert!(j <= 1.0 + 1e-12);
+    }
+
+    /// Bit-packing roundtrips for arbitrary register contents and widths.
+    #[test]
+    fn codec_roundtrips(
+        values in vec(0u32..64, 0..200),
+        extra_bits in 0u32..10,
+    ) {
+        let bits = 6 + extra_bits;
+        let packed = pack_registers(&values, bits);
+        let unpacked = unpack_registers(&packed, values.len(), bits, 63).unwrap();
+        prop_assert_eq!(values, unpacked);
+    }
+
+    /// The pair workload solver conserves the union cardinality and keeps
+    /// component sizes consistent.
+    #[test]
+    fn set_pair_solver_is_consistent(
+        union in 1u64..1_000_000,
+        j_scaled in 0u32..=100,
+        ratio_exp in -30i32..=30,
+    ) {
+        let jaccard = j_scaled as f64 / 100.0;
+        let ratio = 10f64.powf(ratio_exp as f64 / 10.0);
+        let pair = SetPair::from_union_jaccard_ratio(union, jaccard, ratio);
+        prop_assert_eq!(pair.union(), union);
+        prop_assert_eq!(pair.n_u() + pair.n2, union);
+        prop_assert_eq!(pair.n_v() + pair.n1, union);
+        prop_assert!((pair.jaccard() - jaccard).abs() <= 1.0 / union as f64);
+    }
+
+    /// Binary state encoding roundtrips for random register contents.
+    #[test]
+    fn sketch_binary_state_roundtrips(elements in vec(0u64..100_000, 0..80)) {
+        let mut sketch = SetSketch1::new(small_config(), 11);
+        for &e in &elements {
+            sketch.insert_u64(e);
+        }
+        let restored = SetSketch1::from_bytes(&sketch.to_bytes()).unwrap();
+        prop_assert_eq!(sketch, restored);
+    }
+
+    /// GHLL merge equals recording the union, for arbitrary overlapping
+    /// element sets, and the binary codec roundtrips the result.
+    #[test]
+    fn ghll_merge_is_union_and_codec_roundtrips(
+        a in vec(0u64..400, 0..40),
+        b in vec(0u64..400, 0..40),
+    ) {
+        let cfg = GhllConfig::hyperloglog(32).unwrap();
+        let mut sa = GhllSketch::new(cfg, 1);
+        let mut sb = GhllSketch::new(cfg, 1);
+        let mut sab = GhllSketch::new(cfg, 1);
+        for &e in &a {
+            sa.insert_u64(e);
+            sab.insert_u64(e);
+        }
+        for &e in &b {
+            sb.insert_u64(e);
+            sab.insert_u64(e);
+        }
+        let merged = sa.merged(&sb).unwrap();
+        prop_assert_eq!(&merged, &sab);
+        let restored = GhllSketch::from_bytes(&merged.to_bytes()).unwrap();
+        prop_assert_eq!(restored, merged);
+    }
+
+    /// HyperMinHash merge equals recording the union.
+    #[test]
+    fn hyperminhash_merge_is_union(
+        a in vec(0u64..400, 0..40),
+        b in vec(0u64..400, 0..40),
+    ) {
+        let cfg = HyperMinHashConfig::new(32, 6).unwrap();
+        let mut sa = HyperMinHash::new(cfg, 1);
+        let mut sb = HyperMinHash::new(cfg, 1);
+        let mut sab = HyperMinHash::new(cfg, 1);
+        for &e in &a {
+            sa.insert_u64(e);
+            sab.insert_u64(e);
+        }
+        for &e in &b {
+            sb.insert_u64(e);
+            sab.insert_u64(e);
+        }
+        prop_assert_eq!(sa.merged(&sb).unwrap(), sab);
+    }
+
+    /// Theta sketch set algebra respects containment: the intersection
+    /// estimate never exceeds either operand's estimate, and the union
+    /// estimate never falls below.
+    #[test]
+    fn theta_algebra_respects_containment(
+        a in vec(0u64..2000, 1..80),
+        b in vec(0u64..2000, 1..80),
+    ) {
+        let mut sa = ThetaSketch::new(32, 1);
+        let mut sb = ThetaSketch::new(32, 1);
+        for &e in &a {
+            sa.insert_u64(e);
+        }
+        for &e in &b {
+            sb.insert_u64(e);
+        }
+        let union = sa.union(&sb).unwrap();
+        let inter = sa.intersect(&sb).unwrap();
+        prop_assert!(inter.estimate() <= union.estimate() + 1e-9);
+        prop_assert!(union.estimate() >= sa.estimate().max(sb.estimate()) - 1e-9);
+        // Exact-mode check: with few distinct elements everything is exact.
+        let set_a: std::collections::HashSet<u64> = a.iter().copied().collect();
+        let set_b: std::collections::HashSet<u64> = b.iter().copied().collect();
+        if set_a.len() + set_b.len() <= 32 {
+            prop_assert_eq!(
+                union.estimate() as usize,
+                set_a.union(&set_b).count()
+            );
+            prop_assert_eq!(
+                inter.estimate() as usize,
+                set_a.intersection(&set_b).count()
+            );
+        }
+    }
+
+    /// Dice, overlap and cosine derived from a joint estimate are always
+    /// inside [0, 1], whatever the estimated inputs.
+    #[test]
+    fn similarity_coefficients_stay_normalized(
+        n_u in 0.1f64..1e9,
+        n_v in 0.1f64..1e9,
+        j_scaled in 0u32..=100,
+    ) {
+        let j_max = (n_u / n_v).min(n_v / n_u);
+        let j = j_max * j_scaled as f64 / 100.0;
+        let q = sketch_math::JointQuantities::new(n_u, n_v, j);
+        for value in [q.dice, q.overlap, q.cosine, q.inclusion_u, q.inclusion_v] {
+            prop_assert!((0.0..=1.0 + 1e-9).contains(&value), "{value}");
+        }
+    }
+}

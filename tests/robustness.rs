@@ -1,0 +1,113 @@
+//! Failure injection and adversarial-input robustness.
+//!
+//! Decoders must never panic on garbage; estimators must stay total
+//! (finite or documented ±∞/0) on extreme register patterns that can
+//! arise from misconfiguration or corrupted state.
+
+use hyperloglog::GhllSketch;
+use proptest::collection::vec;
+use proptest::prelude::*;
+use setsketch::{SetSketch1, SetSketch2, SetSketchConfig, SketchState};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// Arbitrary bytes never panic the SetSketch binary decoder.
+    #[test]
+    fn setsketch_decoder_handles_garbage(bytes in vec(any::<u8>(), 0..256)) {
+        let _ = SetSketch1::from_bytes(&bytes);
+        let _ = SetSketch2::from_bytes(&bytes);
+    }
+
+    /// Arbitrary bytes never panic the GHLL binary decoder.
+    #[test]
+    fn ghll_decoder_handles_garbage(bytes in vec(any::<u8>(), 0..256)) {
+        let _ = GhllSketch::from_bytes(&bytes);
+    }
+
+    /// Truncations and single-byte corruptions of a valid sketch either
+    /// decode to *some* valid sketch or fail cleanly — never panic.
+    #[test]
+    fn setsketch_decoder_handles_corruption(
+        flip_at in 0usize..300,
+        truncate_to in 0usize..300,
+    ) {
+        let cfg = SetSketchConfig::new(64, 2.0, 20.0, 62).unwrap();
+        let mut sketch = SetSketch1::new(cfg, 1);
+        sketch.extend(0..500);
+        let bytes = sketch.to_bytes().to_vec();
+
+        let mut flipped = bytes.clone();
+        let index = flip_at % flipped.len();
+        flipped[index] ^= 0x55;
+        let _ = SetSketch1::from_bytes(&flipped);
+
+        let cut = truncate_to.min(bytes.len());
+        let _ = SetSketch1::from_bytes(&bytes[..cut]);
+    }
+
+    /// Estimators stay total for arbitrary in-range register patterns
+    /// loaded through the public state API.
+    #[test]
+    fn estimators_are_total_on_arbitrary_registers(
+        registers in vec(0u32..=63, 64..=64),
+    ) {
+        let cfg = SetSketchConfig::new(64, 2.0, 20.0, 62).unwrap();
+        let state = SketchState {
+            variant: "setsketch1".to_owned(),
+            config: cfg,
+            seed: 1,
+            registers,
+        };
+        let sketch = SetSketch1::from_state(state).unwrap();
+        let simple = sketch.estimate_cardinality_simple();
+        let corrected = sketch.estimate_cardinality();
+        prop_assert!(!simple.is_nan());
+        prop_assert!(!corrected.is_nan());
+        prop_assert!(corrected >= 0.0);
+        // Joint estimation against itself must report high similarity.
+        let joint = sketch.estimate_joint(&sketch).unwrap();
+        prop_assert!(!joint.quantities.jaccard.is_nan());
+    }
+}
+
+/// Extreme register patterns exercised explicitly.
+#[test]
+fn estimators_on_extreme_patterns() {
+    let cfg = SetSketchConfig::new(64, 2.0, 20.0, 62).unwrap();
+    let patterns: [(&str, Vec<u32>); 4] = [
+        ("all zero", vec![0; 64]),
+        ("all saturated", vec![63; 64]),
+        ("alternating", (0..64).map(|i| if i % 2 == 0 { 0 } else { 63 }).collect()),
+        ("single spike", {
+            let mut v = vec![0; 64];
+            v[0] = 63;
+            v
+        }),
+    ];
+    for (label, registers) in patterns {
+        let state = SketchState {
+            variant: "setsketch1".to_owned(),
+            config: cfg,
+            seed: 1,
+            registers,
+        };
+        let sketch = SetSketch1::from_state(state).unwrap();
+        let estimate = sketch.estimate_cardinality();
+        assert!(!estimate.is_nan(), "{label}: NaN estimate");
+        assert!(estimate >= 0.0, "{label}: negative estimate");
+    }
+}
+
+/// A merged saturated + empty sketch still estimates.
+#[test]
+fn merge_of_extremes_estimates() {
+    let cfg = SetSketchConfig::new(32, 2.0, 20.0, 5).unwrap();
+    let mut saturated = SetSketch1::new(cfg, 1);
+    saturated.extend(0..100_000);
+    let empty = SetSketch1::new(cfg, 1);
+    let merged = saturated.merged(&empty).unwrap();
+    assert_eq!(merged, saturated);
+    // Fully saturated small-q sketch diverges by design; never NaN.
+    assert!(!merged.estimate_cardinality().is_nan());
+}
