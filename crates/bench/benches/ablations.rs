@@ -25,20 +25,28 @@ fn bench_lower_bound_tracking(c: &mut Criterion) {
     for &b in &[2.0f64, 1.001] {
         let q = if b == 2.0 { 62 } else { (1 << 16) - 2 };
         let cfg = GhllConfig::new(BENCH_M, b, q).expect("valid");
-        group.bench_with_input(BenchmarkId::new("off", format!("b{b}")), &n, |bencher, &n| {
-            bencher.iter(|| {
-                let mut sketch = GhllSketch::new(cfg, 1);
-                sketch.extend(bench_elements(1, n));
-                sketch.registers()[0]
-            });
-        });
-        group.bench_with_input(BenchmarkId::new("on", format!("b{b}")), &n, |bencher, &n| {
-            bencher.iter(|| {
-                let mut sketch = GhllSketch::with_lower_bound_tracking(cfg, 1);
-                sketch.extend(bench_elements(1, n));
-                sketch.registers()[0]
-            });
-        });
+        group.bench_with_input(
+            BenchmarkId::new("off", format!("b{b}")),
+            &n,
+            |bencher, &n| {
+                bencher.iter(|| {
+                    let mut sketch = GhllSketch::new(cfg, 1);
+                    sketch.extend(bench_elements(1, n));
+                    sketch.registers()[0]
+                });
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("on", format!("b{b}")),
+            &n,
+            |bencher, &n| {
+                bencher.iter(|| {
+                    let mut sketch = GhllSketch::with_lower_bound_tracking(cfg, 1);
+                    sketch.extend(bench_elements(1, n));
+                    sketch.registers()[0]
+                });
+            },
+        );
     }
     group.finish();
 }

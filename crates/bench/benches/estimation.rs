@@ -52,7 +52,10 @@ fn bench_joint_estimators(c: &mut Criterion) {
             bencher.iter(|| u.estimate_joint(&v).expect("compatible"))
         });
         group.bench_function(format!("inclusion_exclusion/b{b}"), |bencher| {
-            bencher.iter(|| u.estimate_joint_inclusion_exclusion(&v).expect("compatible"))
+            bencher.iter(|| {
+                u.estimate_joint_inclusion_exclusion(&v)
+                    .expect("compatible")
+            })
         });
     }
 

@@ -14,6 +14,7 @@
 //! the current minimum register value, which speeds up recording of large
 //! sets without changing the state.
 
+#[cfg(feature = "serde")]
 use serde::{Deserialize, Serialize};
 use sketch_math::{brent, sigma_b, tau_b, PowerTable};
 use sketch_rand::{hash_of, hash_u64, mix64};
@@ -43,7 +44,8 @@ impl std::fmt::Display for GhllConfigError {
 impl std::error::Error for GhllConfigError {}
 
 /// Validated GHLL parameters.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
+#[cfg_attr(feature = "serde", derive(Serialize, Deserialize))]
 pub struct GhllConfig {
     m: usize,
     b: f64,
@@ -282,7 +284,8 @@ impl GhllSketch {
         if low_term.is_infinite() {
             return 0.0;
         }
-        let high_term = m * self.table.pow_neg(self.config.q()) * tau_b(b, 1.0 - c_limit as f64 / m);
+        let high_term =
+            m * self.table.pow_neg(self.config.q()) * tau_b(b, 1.0 - c_limit as f64 / m);
         let denom = low_term + mid_sum + high_term;
         m * m * (1.0 - 1.0 / b) / (b.ln() * denom)
     }
@@ -389,9 +392,8 @@ impl GhllSketch {
         let seed = u64::from_be_bytes(bytes[24..32].try_into().expect("length checked"));
         let tracking = bytes[32] != 0;
         let config = GhllConfig::new(m, b, q).map_err(GhllDecodeError::Config)?;
-        let registers =
-            sketch_math::unpack_bits(&bytes[33..], m, config.register_bits(), q + 1)
-                .map_err(GhllDecodeError::Registers)?;
+        let registers = sketch_math::unpack_bits(&bytes[33..], m, config.register_bits(), q + 1)
+            .map_err(GhllDecodeError::Registers)?;
         let mut sketch = if tracking {
             GhllSketch::with_lower_bound_tracking(config, seed)
         } else {
@@ -407,13 +409,12 @@ impl GhllSketch {
 
 impl PartialEq for GhllSketch {
     fn eq(&self, other: &Self) -> bool {
-        self.config == other.config
-            && self.seed == other.seed
-            && self.registers == other.registers
+        self.config == other.config && self.seed == other.seed && self.registers == other.registers
     }
 }
 
 /// Serializable GHLL state.
+#[cfg(feature = "serde")]
 #[derive(Debug, Clone, Serialize, Deserialize)]
 struct GhllState {
     config: GhllConfig,
@@ -422,6 +423,7 @@ struct GhllState {
     lower_bound_tracking: bool,
 }
 
+#[cfg(feature = "serde")]
 impl Serialize for GhllSketch {
     fn serialize<S: serde::Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
         GhllState {
@@ -434,6 +436,7 @@ impl Serialize for GhllSketch {
     }
 }
 
+#[cfg(feature = "serde")]
 impl<'de> Deserialize<'de> for GhllSketch {
     fn deserialize<D: serde::Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
         use serde::de::Error;
@@ -580,6 +583,7 @@ mod tests {
         assert_eq!(untouched, 0, "all registers should be touched at n=10k");
     }
 
+    #[cfg(feature = "serde")]
     #[test]
     fn serde_roundtrip() {
         let cfg = GhllConfig::hyperloglog(64).unwrap();
@@ -595,6 +599,7 @@ mod tests {
         assert!(back.k_low() <= min);
     }
 
+    #[cfg(feature = "serde")]
     #[test]
     fn serde_rejects_invalid_registers() {
         let cfg = GhllConfig::hyperloglog(4).unwrap();

@@ -9,7 +9,9 @@
 //! exclusion principle (13) remains the fallback.
 
 use crate::ghll::{GhllSketch, IncompatibleGhll};
-use sketch_math::{harmonic, inclusion_exclusion_jaccard, ml_jaccard, JointCounts, JointQuantities};
+use sketch_math::{
+    harmonic, inclusion_exclusion_jaccard, ml_jaccard, JointCounts, JointQuantities,
+};
 
 /// Why the ML joint estimator refused to run.
 #[derive(Debug, Clone, PartialEq)]
@@ -202,7 +204,10 @@ mod tests {
         let u = GhllSketch::new(cfg, 1);
         let v = GhllSketch::new(cfg, 2);
         assert!(u.joint_counts(&v).is_err());
-        assert_eq!(u.estimate_joint(&v), Err(super::GhllJointError::Incompatible));
+        assert_eq!(
+            u.estimate_joint(&v),
+            Err(super::GhllJointError::Incompatible)
+        );
     }
 
     #[test]

@@ -79,7 +79,13 @@ mod tests {
         let p1 = ones as f64 / total;
         let p0_expected = (1.0 - 1.0 / m as f64).powi(m as i32);
         let p1_expected = (1.0 - 0.5 / m as f64).powi(m as i32) - p0_expected;
-        assert!((p0 - p0_expected).abs() < 0.01, "P(0) {p0} vs {p0_expected}");
-        assert!((p1 - p1_expected).abs() < 0.01, "P(1) {p1} vs {p1_expected}");
+        assert!(
+            (p0 - p0_expected).abs() < 0.01,
+            "P(0) {p0} vs {p0_expected}"
+        );
+        assert!(
+            (p1 - p1_expected).abs() < 0.01,
+            "P(1) {p1} vs {p1_expected}"
+        );
     }
 }

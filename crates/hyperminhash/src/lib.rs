@@ -26,4 +26,6 @@ pub mod pmf;
 pub mod sketch;
 
 pub use pmf::update_value_pmf;
-pub use sketch::{HyperMinHash, HyperMinHashConfig, HyperMinHashConfigError, IncompatibleHyperMinHash};
+pub use sketch::{
+    HyperMinHash, HyperMinHashConfig, HyperMinHashConfigError, IncompatibleHyperMinHash,
+};

@@ -13,6 +13,7 @@
 //! the original HyperMinHash collision estimator (equal registers with an
 //! expected-random-collision correction), and inclusion–exclusion.
 
+#[cfg(feature = "serde")]
 use serde::{Deserialize, Serialize};
 use sketch_math::{
     inclusion_exclusion_jaccard, ml_jaccard, sigma_b, tau_b, JointCounts, JointQuantities,
@@ -45,7 +46,8 @@ impl std::error::Error for HyperMinHashConfigError {}
 const P_MAX: u32 = 63;
 
 /// Validated HyperMinHash parameters.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[cfg_attr(feature = "serde", derive(Serialize, Deserialize))]
 pub struct HyperMinHashConfig {
     m: usize,
     r: u32,
@@ -106,7 +108,8 @@ impl std::fmt::Display for IncompatibleHyperMinHash {
 impl std::error::Error for IncompatibleHyperMinHash {}
 
 /// A HyperMinHash sketch with stochastic averaging.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
+#[cfg_attr(feature = "serde", derive(Serialize, Deserialize))]
 pub struct HyperMinHash {
     config: HyperMinHashConfig,
     seed: u64,
@@ -248,7 +251,8 @@ impl HyperMinHash {
         if low_term.is_infinite() {
             return 0.0;
         }
-        let high_term = m * (2.0f64).powi(-(q_limit as i32 - 1)) * tau_b(b, 1.0 - c_limit as f64 / m);
+        let high_term =
+            m * (2.0f64).powi(-(q_limit as i32 - 1)) * tau_b(b, 1.0 - c_limit as f64 / m);
         let denom = low_term + sum + high_term;
         m * m * (1.0 - 1.0 / b) / (b.ln() * denom)
     }
@@ -266,7 +270,10 @@ impl HyperMinHash {
 
     /// The SetSketch paper's order-based joint estimator (§4.3) with the
     /// effective base `b = 2^(2^{-r})` and estimated cardinalities.
-    pub fn estimate_joint(&self, other: &Self) -> Result<JointQuantities, IncompatibleHyperMinHash> {
+    pub fn estimate_joint(
+        &self,
+        other: &Self,
+    ) -> Result<JointQuantities, IncompatibleHyperMinHash> {
         let n_u = self.estimate_cardinality();
         let n_v = other.estimate_cardinality();
         self.estimate_joint_with_cardinalities(other, n_u, n_v)
@@ -381,7 +388,14 @@ impl HyperMinHash {
 mod tests {
     use super::*;
 
-    fn pair(m: usize, r: u32, seed: u64, n1: u64, n2: u64, n3: u64) -> (HyperMinHash, HyperMinHash) {
+    fn pair(
+        m: usize,
+        r: u32,
+        seed: u64,
+        n1: u64,
+        n2: u64,
+        n3: u64,
+    ) -> (HyperMinHash, HyperMinHash) {
         let cfg = HyperMinHashConfig::new(m, r).unwrap();
         let mut u = HyperMinHash::new(cfg, seed);
         let mut v = HyperMinHash::new(cfg, seed);
@@ -513,6 +527,7 @@ mod tests {
         assert_eq!(cfg.register_bits(), 16);
     }
 
+    #[cfg(feature = "serde")]
     #[test]
     fn serde_roundtrip() {
         let (u, _) = pair(64, 6, 7, 1000, 0, 500);

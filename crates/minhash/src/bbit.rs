@@ -8,11 +8,13 @@
 //! at the price of losing mergeability, exactly as the paper describes.
 
 use crate::classic::MinHash;
+#[cfg(feature = "serde")]
 use serde::{Deserialize, Serialize};
 
 /// A finalized b-bit signature. It can be compared but no longer updated
 /// or merged.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[cfg_attr(feature = "serde", derive(Serialize, Deserialize))]
 pub struct BBitSignature {
     bits: u32,
     seed: u64,

@@ -9,10 +9,9 @@
 //! (eq. (17)), which dominates the classic one, and the MinHash
 //! cardinality estimator (eq. (16)).
 
+#[cfg(feature = "serde")]
 use serde::{Deserialize, Serialize};
-use sketch_math::{
-    inclusion_exclusion_jaccard, ml_jaccard_b1, JointCounts, JointQuantities,
-};
+use sketch_math::{inclusion_exclusion_jaccard, ml_jaccard_b1, JointCounts, JointQuantities};
 use sketch_rand::{hash_of, hash_u64, Rng64, WyRand};
 
 /// Error raised when two sketches with different size or seed are combined.
@@ -28,7 +27,8 @@ impl std::fmt::Display for IncompatibleMinHash {
 impl std::error::Error for IncompatibleMinHash {}
 
 /// Classic m-component MinHash signature over 64-bit hash values.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
+#[cfg_attr(feature = "serde", derive(Serialize, Deserialize))]
 pub struct MinHash {
     seed: u64,
     /// Components; `u64::MAX` marks a never-updated component.
@@ -307,7 +307,11 @@ mod tests {
     fn new_estimator_matches_truth() {
         let (u, v) = pair(4096, 4, 4000, 4000, 4000);
         let q = u.estimate_joint(&v).unwrap();
-        assert!((q.jaccard - 1.0 / 3.0).abs() < 0.03, "jaccard {}", q.jaccard);
+        assert!(
+            (q.jaccard - 1.0 / 3.0).abs() < 0.03,
+            "jaccard {}",
+            q.jaccard
+        );
         assert!((q.intersection - 4000.0).abs() < 400.0);
     }
 
@@ -360,6 +364,7 @@ mod tests {
         assert!((q.jaccard - 0.4).abs() < 0.1, "jaccard {}", q.jaccard);
     }
 
+    #[cfg(feature = "serde")]
     #[test]
     fn serde_roundtrip() {
         let (u, _) = pair(64, 10, 100, 0, 50);

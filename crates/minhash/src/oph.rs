@@ -10,6 +10,7 @@
 //! mergeable sketch and the densified signature are implemented here so
 //! the trade-off SetSketch eliminates can be measured directly.
 
+#[cfg(feature = "serde")]
 use serde::{Deserialize, Serialize};
 use sketch_rand::{hash_u64, mix64};
 
@@ -27,7 +28,8 @@ impl std::error::Error for IncompatibleOph {}
 
 /// One-permutation hashing sketch: m bins, each holding the minimum value
 /// hash routed into it; `u64::MAX` marks an empty bin.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[cfg_attr(feature = "serde", derive(Serialize, Deserialize))]
 pub struct OnePermutationHashing {
     seed: u64,
     values: Vec<u64>,
@@ -177,7 +179,8 @@ impl OnePermutationHashing {
 }
 
 /// A densified OPH signature: complete, comparable, no longer updatable.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[cfg_attr(feature = "serde", derive(Serialize, Deserialize))]
 pub struct DensifiedOph {
     seed: u64,
     signature: Vec<u64>,
@@ -214,7 +217,13 @@ impl DensifiedOph {
 mod tests {
     use super::*;
 
-    fn pair(m: usize, seed: u64, n1: u64, n2: u64, n3: u64) -> (OnePermutationHashing, OnePermutationHashing) {
+    fn pair(
+        m: usize,
+        seed: u64,
+        n1: u64,
+        n2: u64,
+        n3: u64,
+    ) -> (OnePermutationHashing, OnePermutationHashing) {
         let mut u = OnePermutationHashing::new(m, seed);
         let mut v = OnePermutationHashing::new(m, seed);
         u.extend(0..n1);
@@ -317,6 +326,7 @@ mod tests {
         assert!(a.jaccard_raw(&c).is_err());
     }
 
+    #[cfg(feature = "serde")]
     #[test]
     fn serde_roundtrip() {
         let (u, _) = pair(64, 11, 500, 0, 0);

@@ -7,6 +7,7 @@
 //! logically equivalent to SuperMinHash as b → 1*, which motivates having
 //! it in the baseline suite.
 
+#[cfg(feature = "serde")]
 use serde::{Deserialize, Serialize};
 use sketch_math::JointCounts;
 use sketch_rand::{hash_u64, IncrementalShuffle, Rng64, WyRand};
@@ -25,7 +26,8 @@ impl std::error::Error for IncompatibleSuperMinHash {}
 
 /// SuperMinHash signature: m components in `[0, m)`, `f64::INFINITY` when
 /// untouched.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
+#[cfg_attr(feature = "serde", derive(Serialize, Deserialize))]
 pub struct SuperMinHash {
     seed: u64,
     values: Vec<f64>,
@@ -33,10 +35,11 @@ pub struct SuperMinHash {
     upper: f64,
     /// Updates since the last recomputation of `upper`.
     modifications: u32,
-    #[serde(skip, default = "new_shuffle_placeholder")]
+    #[cfg_attr(feature = "serde", serde(skip, default = "new_shuffle_placeholder"))]
     shuffle: Option<IncrementalShuffle>,
 }
 
+#[cfg(feature = "serde")]
 fn new_shuffle_placeholder() -> Option<IncrementalShuffle> {
     None
 }
@@ -132,7 +135,11 @@ impl SuperMinHash {
     /// Recomputes the exact maximum; values only decrease, so the stale
     /// bound in between stays valid.
     fn rescan_upper_bound(&mut self) {
-        self.upper = self.values.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+        self.upper = self
+            .values
+            .iter()
+            .copied()
+            .fold(f64::NEG_INFINITY, f64::max);
         self.modifications = 0;
     }
 

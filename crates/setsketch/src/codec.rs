@@ -69,7 +69,11 @@ mod tests {
     #[test]
     fn roundtrip_various_widths() {
         for bits in [1u32, 3, 6, 8, 13, 16, 24, 32] {
-            let mask = if bits == 32 { u32::MAX } else { (1 << bits) - 1 };
+            let mask = if bits == 32 {
+                u32::MAX
+            } else {
+                (1 << bits) - 1
+            };
             let values: Vec<u32> = (0..257u32)
                 .map(|i| i.wrapping_mul(2_654_435_761).wrapping_add(i) & mask)
                 .collect();
@@ -132,7 +136,10 @@ mod tests {
     #[test]
     fn error_conversion_covers_all_variants() {
         use sketch_math::bitpack::BitPackError;
-        assert_eq!(CodecError::from(BitPackError::Truncated), CodecError::Truncated);
+        assert_eq!(
+            CodecError::from(BitPackError::Truncated),
+            CodecError::Truncated
+        );
         assert_eq!(
             CodecError::from(BitPackError::ValueOutOfRange),
             CodecError::ValueOutOfRange

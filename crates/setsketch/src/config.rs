@@ -8,6 +8,7 @@
 //! clipping at 0 or q+1 is ever observed; [`SetSketchConfig::recommended`]
 //! picks `a` and `q` from those bounds.
 
+#[cfg(feature = "serde")]
 use serde::{Deserialize, Serialize};
 
 /// Errors raised by invalid sketch configurations.
@@ -40,7 +41,8 @@ impl std::fmt::Display for ConfigError {
 impl std::error::Error for ConfigError {}
 
 /// Validated SetSketch parameters (paper §2.3).
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
+#[cfg_attr(feature = "serde", derive(Serialize, Deserialize))]
 pub struct SetSketchConfig {
     m: usize,
     b: f64,
@@ -265,6 +267,7 @@ mod tests {
         assert!(e.to_string().contains("m must be"));
     }
 
+    #[cfg(feature = "serde")]
     #[test]
     fn config_serde_roundtrip() {
         let cfg = SetSketchConfig::example_16bit();

@@ -26,9 +26,9 @@ pub fn collision_probability(b: f64, j: f64, u: f64, v: f64) -> f64 {
 /// ratios (paper §3.3, Figure 3).
 pub fn collision_probability_bounds(b: f64, j: f64) -> (f64, f64) {
     let lower = (1.0 + j * (b - 1.0)).ln() / b.ln();
-    let upper =
-        (1.0 + j * (b - 1.0) + (1.0 - j) * (1.0 - j) * (b - 1.0) * (b - 1.0) / (4.0 * b)).ln()
-            / b.ln();
+    let upper = (1.0 + j * (b - 1.0) + (1.0 - j) * (1.0 - j) * (b - 1.0) * (b - 1.0) / (4.0 * b))
+        .ln()
+        / b.ln();
     (lower, upper)
 }
 

@@ -70,11 +70,7 @@ impl<S: ValueSequence> SetSketch<S> {
     ///
     /// # Panics
     /// Panics if the table was built for a different base or limit.
-    pub fn with_shared_table(
-        config: SetSketchConfig,
-        seed: u64,
-        table: Arc<PowerTable>,
-    ) -> Self {
+    pub fn with_shared_table(config: SetSketchConfig, seed: u64, table: Arc<PowerTable>) -> Self {
         assert_eq!(table.b(), config.b(), "power table base mismatch");
         assert_eq!(table.q(), config.q(), "power table limit mismatch");
         Self {
@@ -242,9 +238,7 @@ impl<S: ValueSequence> SetSketch<S> {
 
 impl<S: ValueSequence> PartialEq for SetSketch<S> {
     fn eq(&self, other: &Self) -> bool {
-        self.config == other.config
-            && self.seed == other.seed
-            && self.registers == other.registers
+        self.config == other.config && self.seed == other.seed && self.registers == other.registers
     }
 }
 

@@ -13,10 +13,12 @@ use crate::config::{ConfigError, SetSketchConfig};
 use crate::sequence::ValueSequence;
 use crate::sketch::SetSketch;
 use bytes::{Buf, BufMut, Bytes, BytesMut};
+#[cfg(feature = "serde")]
 use serde::{Deserialize, Serialize};
 
 /// Portable SetSketch state.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
+#[cfg_attr(feature = "serde", derive(Serialize, Deserialize))]
 pub struct SketchState {
     /// Variant tag: `"setsketch1"` or `"setsketch2"`.
     pub variant: String,
@@ -165,12 +167,14 @@ impl<S: ValueSequence> SetSketch<S> {
     }
 }
 
+#[cfg(feature = "serde")]
 impl<S: ValueSequence> Serialize for SetSketch<S> {
     fn serialize<Ser: serde::Serializer>(&self, serializer: Ser) -> Result<Ser::Ok, Ser::Error> {
         self.to_state().serialize(serializer)
     }
 }
 
+#[cfg(feature = "serde")]
 impl<'de, S: ValueSequence> Deserialize<'de> for SetSketch<S> {
     fn deserialize<D: serde::Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
         let state = SketchState::deserialize(deserializer)?;
@@ -201,9 +205,7 @@ mod tests {
         a.insert_u64(999_999);
         b.insert_u64(999_999);
         assert_eq!(a, b);
-        assert!(
-            (a.estimate_cardinality() - b.estimate_cardinality()).abs() < 1e-12
-        );
+        assert!((a.estimate_cardinality() - b.estimate_cardinality()).abs() < 1e-12);
     }
 
     #[test]
@@ -231,6 +233,7 @@ mod tests {
         );
     }
 
+    #[cfg(feature = "serde")]
     #[test]
     fn json_roundtrip() {
         let original = populated_sketch();
@@ -239,6 +242,7 @@ mod tests {
         assert_eq!(original, restored);
     }
 
+    #[cfg(feature = "serde")]
     #[test]
     fn json_rejects_wrong_variant() {
         let original = populated_sketch();

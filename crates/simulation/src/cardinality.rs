@@ -104,8 +104,7 @@ impl AnySketch {
                 AnySketch::S2(SetSketch2::new(cfg, seed))
             }
             CardinalitySketchKind::Ghll => {
-                let cfg =
-                    GhllConfig::new(exp.m, exp.b, exp.q).expect("invalid GHLL configuration");
+                let cfg = GhllConfig::new(exp.m, exp.b, exp.q).expect("invalid GHLL configuration");
                 AnySketch::Ghll(GhllSketch::new(cfg, seed))
             }
         }
@@ -152,11 +151,11 @@ impl CardinalityExperiment {
         } else {
             self.threads
         };
-        let worker_stats = crossbeam::thread::scope(|scope| {
+        let worker_stats = std::thread::scope(|scope| {
             let mut handles = Vec::new();
             for worker in 0..threads {
                 let checkpoints = &checkpoints;
-                handles.push(scope.spawn(move |_| {
+                handles.push(scope.spawn(move || {
                     let mut stats: Vec<ErrorStats> = checkpoints
                         .iter()
                         .map(|&n| ErrorStats::new(n as f64))
@@ -173,8 +172,7 @@ impl CardinalityExperiment {
                 .into_iter()
                 .map(|h| h.join().expect("worker panicked"))
                 .collect::<Vec<_>>()
-        })
-        .expect("thread scope failed");
+        });
 
         let mut merged = worker_stats
             .into_iter()

@@ -6,9 +6,7 @@
 //! restores the paper's original parameters (10⁴ cycles, 10³ pairs, union
 //! cardinalities of 10⁶).
 
-use crate::cardinality::{
-    CardinalityEstimatorKind, CardinalityExperiment, CardinalitySketchKind,
-};
+use crate::cardinality::{CardinalityEstimatorKind, CardinalityExperiment, CardinalitySketchKind};
 use crate::joint::{JointExperiment, JointSketchKind, QuantityKind};
 use crate::recording::{RecordingExperiment, RecordingStructure};
 use crate::table::Table;
@@ -132,8 +130,7 @@ pub fn fig02() -> Table {
         for &b in &bases {
             for i in 1..=40 {
                 let j = j_max * i as f64 / 41.0;
-                let ratio =
-                    fisher::jaccard_rmse_theory(m, b, u, v, j) / fisher::minhash_rmse(m, j);
+                let ratio = fisher::jaccard_rmse_theory(m, b, u, v, j) / fisher::minhash_rmse(m, j);
                 table.push_row(vec![
                     label.to_owned(),
                     Table::fmt(b),
@@ -170,16 +167,12 @@ pub fn fig03() -> Table {
 /// Figure 4: exact RMSE of Ĵ_up (worst case n_U = n_V) relative to the
 /// MinHash RMSE.
 pub fn fig04() -> Table {
-    let mut table = Table::new(
-        "fig04_jup_rmse_ratio",
-        &["m", "b", "jaccard", "rmse_ratio"],
-    );
+    let mut table = Table::new("fig04_jup_rmse_ratio", &["m", "b", "jaccard", "rmse_ratio"]);
     for &m in &[256usize, 4096] {
         for &b in &[2.0, 1.2, 1.08, 1.02, 1.001] {
             for i in 1..=24 {
                 let j = i as f64 / 25.0;
-                let ratio =
-                    setsketch::jaccard_upper_rmse(b, m, j) / fisher::minhash_rmse(m, j);
+                let ratio = setsketch::jaccard_upper_rmse(b, m, j) / fisher::minhash_rmse(m, j);
                 table.push_row(vec![
                     m.to_string(),
                     Table::fmt(b),
@@ -255,7 +248,11 @@ fn cardinality_figure(name: &str, estimator: CardinalityEstimatorKind, scale: &S
 /// Figure 5: relative bias, relative RMSE and kurtosis of the corrected
 /// cardinality estimator for SetSketch1/2 and GHLL.
 pub fn fig05(scale: &Scale) -> Table {
-    cardinality_figure("fig05_cardinality", CardinalityEstimatorKind::Corrected, scale)
+    cardinality_figure(
+        "fig05_cardinality",
+        CardinalityEstimatorKind::Corrected,
+        scale,
+    )
 }
 
 /// Figure 12: the same sweep with maximum-likelihood estimation.
@@ -426,10 +423,7 @@ pub fn fig10(scale: &Scale) -> Table {
 /// Figure 11: maximum deviation of ξ¹_b and ξ²_b from 1, as a function
 /// of b.
 pub fn fig11() -> Table {
-    let mut table = Table::new(
-        "fig11_xi_deviation",
-        &["b", "max_dev_xi1", "max_dev_xi2"],
-    );
+    let mut table = Table::new("fig11_xi_deviation", &["b", "max_dev_xi1", "max_dev_xi2"]);
     for i in 0..=40 {
         let b = 1.0 + 4.0 * (i as f64 + 0.5) / 41.0;
         table.push_row(vec![

@@ -284,12 +284,12 @@ impl JointExperiment {
         } else {
             self.threads
         };
-        let worker_stats = crossbeam::thread::scope(|scope| {
+        let worker_stats = std::thread::scope(|scope| {
             let mut handles = Vec::new();
             for worker in 0..threads {
                 // SetPair and JointQuantities are Copy; the move closure
                 // captures per-worker copies.
-                handles.push(scope.spawn(move |_| {
+                handles.push(scope.spawn(move || {
                     let mut stats: Vec<ErrorStats> = estimators
                         .iter()
                         .flat_map(|_| {
@@ -300,8 +300,8 @@ impl JointExperiment {
                         .collect();
                     let mut index = worker as u64;
                     while index < self.pairs {
-                        let stream_base = self.stream_offset
-                            + (ratio_index as u64 * self.pairs + index) * 3;
+                        let stream_base =
+                            self.stream_offset + (ratio_index as u64 * self.pairs + index) * 3;
                         let estimates = self.evaluate_pair(&pair, &truth, stream_base, index);
                         self.accumulate(estimators, &estimates, &mut stats);
                         index += threads as u64;
@@ -313,8 +313,7 @@ impl JointExperiment {
                 .into_iter()
                 .map(|h| h.join().expect("worker panicked"))
                 .collect::<Vec<_>>()
-        })
-        .expect("thread scope failed");
+        });
         worker_stats
             .into_iter()
             .reduce(|mut acc, other| {
@@ -402,8 +401,8 @@ impl JointExperiment {
                 }
             }
             JointSketchKind::Ghll => {
-                let cfg = GhllConfig::new(self.m, self.b, self.q)
-                    .expect("invalid GHLL configuration");
+                let cfg =
+                    GhllConfig::new(self.m, self.b, self.q).expect("invalid GHLL configuration");
                 let mut u = GhllSketch::new(cfg, seed);
                 let mut v = GhllSketch::new(cfg, seed);
                 u.extend(pair.u_elements(stream_base));
@@ -443,8 +442,8 @@ impl JointExperiment {
                 }
             }
             JointSketchKind::HyperMinHash { r } => {
-                let cfg = HyperMinHashConfig::new(self.m, r)
-                    .expect("invalid HyperMinHash configuration");
+                let cfg =
+                    HyperMinHashConfig::new(self.m, r).expect("invalid HyperMinHash configuration");
                 let mut u = HyperMinHash::new(cfg, seed);
                 let mut v = HyperMinHash::new(cfg, seed);
                 u.extend(pair.u_elements(stream_base));
@@ -540,10 +539,7 @@ mod tests {
         let new = rmse_of(&points, JointEstimatorKind::New, QuantityKind::Jaccard);
         let original = rmse_of(&points, JointEstimatorKind::Original, QuantityKind::Jaccard);
         // §4.1: the new estimator dominates (allow noise slack).
-        assert!(
-            new < original * 1.15,
-            "new {new} vs original {original}"
-        );
+        assert!(new < original * 1.15, "new {new} vs original {original}");
     }
 
     #[test]
@@ -551,7 +547,9 @@ mod tests {
         assert_eq!(base(JointSketchKind::SetSketch1).estimators().len(), 3);
         assert_eq!(base(JointSketchKind::MinHash).estimators().len(), 5);
         assert_eq!(
-            base(JointSketchKind::HyperMinHash { r: 10 }).estimators().len(),
+            base(JointSketchKind::HyperMinHash { r: 10 })
+                .estimators()
+                .len(),
             5
         );
     }

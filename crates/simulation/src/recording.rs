@@ -139,8 +139,7 @@ impl RecordingExperiment {
                 std::hint::black_box(sketch.registers().first().copied());
             }
             RecordingStructure::Ghll { tracking } => {
-                let cfg =
-                    GhllConfig::new(self.m, self.b, self.q).expect("invalid configuration");
+                let cfg = GhllConfig::new(self.m, self.b, self.q).expect("invalid configuration");
                 let mut sketch = if tracking {
                     GhllSketch::with_lower_bound_tracking(cfg, run)
                 } else {

@@ -1,0 +1,68 @@
+//! Smoke tests for the `experiments` binary path: one cheap figure runs at
+//! the binary's default [`Scale::quick`] preset, through both the library
+//! entry point and the compiled binary itself, and produces CSV-shaped
+//! output. Keeps the figure-regeneration pipeline exercised in CI without
+//! paying for a full sweep (fig1 is analytic, so `quick` adds no cost).
+
+use simulation::{run_figure, Scale};
+use std::process::Command;
+
+#[test]
+fn run_figure_at_quick_scale_produces_csv_shaped_output() {
+    let table = run_figure("fig1", &Scale::quick());
+    assert!(!table.rows.is_empty(), "fig1 produced no rows");
+    assert!(!table.columns.is_empty(), "fig1 has no columns");
+
+    let dir = std::env::temp_dir().join("setsketch-quick-scale-smoke");
+    let _ = std::fs::remove_dir_all(&dir);
+    let path = table.write_csv(&dir).expect("csv written");
+    let content = std::fs::read_to_string(&path).expect("csv readable");
+    let lines: Vec<&str> = content.lines().collect();
+    assert_eq!(
+        lines.len(),
+        table.rows.len() + 1,
+        "header + one line per row"
+    );
+    let header_fields = lines[0].split(',').count();
+    assert_eq!(header_fields, table.columns.len());
+    for line in &lines {
+        assert_eq!(line.split(',').count(), header_fields, "ragged csv line");
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn experiments_binary_writes_figure_csv() {
+    let dir = std::env::temp_dir().join("setsketch-experiments-binary-smoke");
+    let _ = std::fs::remove_dir_all(&dir);
+
+    let output = Command::new(env!("CARGO_BIN_EXE_experiments"))
+        .args(["fig1", "--out"])
+        .arg(&dir)
+        .arg("--quiet")
+        .output()
+        .expect("experiments binary runs");
+    assert!(
+        output.status.success(),
+        "experiments exited with {:?}: {}",
+        output.status,
+        String::from_utf8_lossy(&output.stderr)
+    );
+
+    let csv = dir.join("fig01_update_value_pmf.csv");
+    let content = std::fs::read_to_string(&csv).expect("figure csv exists");
+    let mut lines = content.lines();
+    let header = lines.next().expect("csv has a header");
+    assert!(header.split(',').count() > 1, "csv header has columns");
+    assert!(lines.next().is_some(), "csv has at least one data row");
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn experiments_binary_rejects_unknown_figures() {
+    let output = Command::new(env!("CARGO_BIN_EXE_experiments"))
+        .arg("fig99")
+        .output()
+        .expect("experiments binary runs");
+    assert_eq!(output.status.code(), Some(2));
+}

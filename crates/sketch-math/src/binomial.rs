@@ -44,7 +44,8 @@ impl BinomialPmf {
         if p == 1.0 {
             return if k == n { 1.0 } else { 0.0 };
         }
-        let ln_p = self.ln_choose(n, k) + k as f64 * p.ln() + (n - k) as f64 * (1.0 - p).ln_1p_off();
+        let ln_p =
+            self.ln_choose(n, k) + k as f64 * p.ln() + (n - k) as f64 * (1.0 - p).ln_1p_off();
         ln_p.exp()
     }
 

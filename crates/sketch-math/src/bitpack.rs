@@ -105,8 +105,14 @@ mod tests {
     #[test]
     fn roundtrip_widths() {
         for bits in [1u32, 5, 6, 8, 16, 31, 32] {
-            let mask = if bits == 32 { u32::MAX } else { (1 << bits) - 1 };
-            let values: Vec<u32> = (0..100u32).map(|i| i.wrapping_mul(2_654_435_761) & mask).collect();
+            let mask = if bits == 32 {
+                u32::MAX
+            } else {
+                (1 << bits) - 1
+            };
+            let values: Vec<u32> = (0..100u32)
+                .map(|i| i.wrapping_mul(2_654_435_761) & mask)
+                .collect();
             let packed = pack_bits(&values, bits);
             assert_eq!(unpack_bits(&packed, 100, bits, mask).unwrap(), values);
         }

@@ -258,10 +258,7 @@ mod tests {
                     }
                     let counts = expected_counts(m, b, u, v, j);
                     let est = ml_jaccard(counts, b, u, v);
-                    assert!(
-                        (est - j).abs() < 5e-3,
-                        "b={b} j={j} u={u}: est={est}"
-                    );
+                    assert!((est - j).abs() < 5e-3, "b={b} j={j} u={u}: est={est}");
                 }
             }
         }

@@ -110,7 +110,11 @@ impl PowerTable {
         let mantissa_zero = bits & 0x000f_ffff_ffff_ffff == 0;
         // x = 2^e * m with 1 <= m < 2: floor(1 - log2 x) = -e unless m == 1,
         // in which case it is 1 - e.
-        let k = if mantissa_zero { 1 - exponent } else { -exponent };
+        let k = if mantissa_zero {
+            1 - exponent
+        } else {
+            -exponent
+        };
         k.clamp(0, self.q as i64 + 1) as u32
     }
 }

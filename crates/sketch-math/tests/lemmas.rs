@@ -67,7 +67,10 @@ fn lemma11_zeta_error_bound() {
     for &b in &[2.0f64, 1.5, 1.2] {
         let rel = ((zeta(b, x1, x2) - (x2 - x1)) / (x2 - x1)).abs();
         let bound = xi::xi1_deviation_bound(b).max(noise_floor);
-        assert!(rel <= bound * (1.0 + 1e-9), "b={b}: rel {rel} > bound {bound}");
+        assert!(
+            rel <= bound * (1.0 + 1e-9),
+            "b={b}: rel {rel} > bound {bound}"
+        );
     }
     // The bound itself decreases sharply with b.
     assert!(xi::xi1_deviation_bound(1.5) < xi::xi1_deviation_bound(2.0) * 1e-3);

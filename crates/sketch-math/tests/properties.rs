@@ -2,8 +2,7 @@
 
 use proptest::prelude::*;
 use sketch_math::{
-    brent, harmonic, p_b, p_b_derivative, sigma_b, tau_b, BinomialPmf, PowerTable,
-    RunningMoments,
+    brent, harmonic, p_b, p_b_derivative, sigma_b, tau_b, BinomialPmf, PowerTable, RunningMoments,
 };
 
 proptest! {

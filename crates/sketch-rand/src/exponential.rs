@@ -233,10 +233,7 @@ mod tests {
             let q = -(1.0f64 - p).ln();
             let idx = samples.partition_point(|&x| x < q);
             let empirical = idx as f64 / n as f64;
-            assert!(
-                (empirical - p).abs() < 0.01,
-                "p={p} empirical={empirical}"
-            );
+            assert!((empirical - p).abs() < 0.01, "p={p} empirical={empirical}");
         }
     }
 
@@ -246,8 +243,10 @@ mod tests {
         let mut rng = WyRand::new(29);
         let n = 200_000;
         let rate = 20.0;
-        let mean: f64 =
-            (0..n).map(|_| z.sample_with_rate(&mut rng, rate)).sum::<f64>() / n as f64;
+        let mean: f64 = (0..n)
+            .map(|_| z.sample_with_rate(&mut rng, rate))
+            .sum::<f64>()
+            / n as f64;
         assert!((mean - 1.0 / rate).abs() < 0.001);
     }
 

@@ -76,7 +76,10 @@ mod tests {
             ones += rng.next_u64().count_ones() as u64;
         }
         let fraction = ones as f64 / (words * 64) as f64;
-        assert!((fraction - 0.5).abs() < 0.005, "one-bit fraction {fraction}");
+        assert!(
+            (fraction - 0.5).abs() < 0.005,
+            "one-bit fraction {fraction}"
+        );
     }
 
     #[test]

@@ -28,6 +28,7 @@
 //! assert!((inter.estimate() - 10_000.0).abs() / 10_000.0 < 0.2);
 //! ```
 
+#[cfg(feature = "serde")]
 use serde::{Deserialize, Serialize};
 use sketch_rand::{hash_of, hash_u64};
 use std::collections::BTreeSet;
@@ -50,7 +51,8 @@ impl std::error::Error for IncompatibleTheta {}
 /// (k+1)-smallest seen value (or 1.0 while fewer than k values are
 /// retained). Binary operations produce derived sketches whose θ is the
 /// minimum of the operands' θ, as in the Theta sketch framework.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[cfg_attr(feature = "serde", derive(Serialize, Deserialize))]
 pub struct ThetaSketch {
     k: usize,
     seed: u64,
@@ -316,6 +318,7 @@ mod tests {
         assert!(a.jaccard(&b).is_err());
     }
 
+    #[cfg(feature = "serde")]
     #[test]
     fn serde_roundtrip() {
         let s = sketch_of(0..10_000, 512);

@@ -78,7 +78,9 @@ fn main() {
             b.insert_u64(user);
         }
         let n = a.estimate_joint(&b).expect("applicable");
-        let x = a.estimate_joint_inclusion_exclusion(&b).expect("compatible");
+        let x = a
+            .estimate_joint_inclusion_exclusion(&b)
+            .expect("compatible");
         se_new += (n.jaccard - true_jaccard).powi(2);
         se_inex += (x.jaccard - true_jaccard).powi(2);
     }

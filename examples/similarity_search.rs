@@ -83,7 +83,10 @@ fn main() {
 
     println!("top matches:");
     for (id, jaccard) in scored.iter().take(5) {
-        println!("  family {:>2} member {}: jaccard ~ {:.3}", id.0, id.1, jaccard);
+        println!(
+            "  family {:>2} member {}: jaccard ~ {:.3}",
+            id.0, id.1, jaccard
+        );
     }
 
     // All top hits must come from family 7.

@@ -30,11 +30,7 @@ fn every_figure_runs_and_is_well_formed() {
         assert!(!table.rows.is_empty(), "{name} produced no rows");
         assert!(!table.columns.is_empty(), "{name} has no columns");
         for (i, row) in table.rows.iter().enumerate() {
-            assert_eq!(
-                row.len(),
-                table.columns.len(),
-                "{name} row {i} is ragged"
-            );
+            assert_eq!(row.len(), table.columns.len(), "{name} row {i} is ragged");
             for cell in row {
                 assert!(!cell.is_empty(), "{name} row {i} has an empty cell");
             }

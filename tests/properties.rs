@@ -11,8 +11,8 @@ use proptest::collection::vec;
 use proptest::prelude::*;
 use setsketch::codec::{pack_registers, unpack_registers};
 use setsketch::{SetSketch1, SetSketch2, SetSketchConfig};
-use sketch_math::{inclusion_exclusion_jaccard, ml_jaccard, ml_jaccard_b1, JointCounts};
 use simulation::workload::SetPair;
+use sketch_math::{inclusion_exclusion_jaccard, ml_jaccard, ml_jaccard_b1, JointCounts};
 use thetasketch::ThetaSketch;
 
 fn small_config() -> SetSketchConfig {

@@ -78,7 +78,10 @@ fn estimators_on_extreme_patterns() {
     let patterns: [(&str, Vec<u32>); 4] = [
         ("all zero", vec![0; 64]),
         ("all saturated", vec![63; 64]),
-        ("alternating", (0..64).map(|i| if i % 2 == 0 { 0 } else { 63 }).collect()),
+        (
+            "alternating",
+            (0..64).map(|i| if i % 2 == 0 { 0 } else { 63 }).collect(),
+        ),
         ("single spike", {
             let mut v = vec![0; 64];
             v[0] = 63;

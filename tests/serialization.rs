@@ -47,9 +47,7 @@ fn setsketch_binary_roundtrip_is_compact() {
     assert_eq!(bytes.len(), 41 + cfg.packed_bytes());
     let restored = SetSketch2::from_bytes(&bytes).unwrap();
     assert_eq!(sketch, restored);
-    assert!(
-        (restored.estimate_cardinality() - sketch.estimate_cardinality()).abs() < 1e-9
-    );
+    assert!((restored.estimate_cardinality() - sketch.estimate_cardinality()).abs() < 1e-9);
 }
 
 #[test]
@@ -75,9 +73,7 @@ fn ghll_json_roundtrip() {
     let json = serde_json::to_string(&sketch).unwrap();
     let restored: GhllSketch = serde_json::from_str(&json).unwrap();
     assert_eq!(sketch, restored);
-    assert!(
-        (restored.estimate_cardinality() - sketch.estimate_cardinality()).abs() < 1e-9
-    );
+    assert!((restored.estimate_cardinality() - sketch.estimate_cardinality()).abs() < 1e-9);
 }
 
 #[test]

@@ -1,0 +1,424 @@
+//! Offline shim for the [`serde`](https://serde.rs) crate.
+//!
+//! The build environment has no network access, so this workspace vendors a
+//! minimal serialization framework that is **API-compatible with the subset
+//! of serde the workspace uses**: the [`Serialize`] / [`Deserialize`]
+//! traits, the [`Serializer`] / [`Deserializer`] traits (as bounds in
+//! hand-written impls), `serde::de::Error::custom`, and the
+//! `#[derive(Serialize, Deserialize)]` macros with `#[serde(skip)]` and
+//! `#[serde(default = "path")]` field attributes.
+//!
+//! Unlike real serde's visitor-based zero-copy data model, this shim pivots
+//! through a self-describing [`Content`] tree (null / bool / integers /
+//! float / string / sequence / map). That is exactly the JSON data model,
+//! which is the only format the workspace serializes to; the companion
+//! `serde_json` shim consumes it. Swap the workspace dependency back to
+//! crates.io to drop the shim.
+
+pub use content::Content;
+#[cfg(feature = "derive")]
+pub use serde_derive::{Deserialize, Serialize};
+
+/// The self-describing value tree all (de)serialization pivots through.
+pub mod content {
+    /// A serialized value: the JSON data model with integer fidelity.
+    #[derive(Debug, Clone, PartialEq)]
+    pub enum Content {
+        /// Null / `None`.
+        Null,
+        /// Boolean.
+        Bool(bool),
+        /// Nonnegative integer (stores every `u64` exactly).
+        U64(u64),
+        /// Negative integer.
+        I64(i64),
+        /// Floating-point number.
+        F64(f64),
+        /// UTF-8 string.
+        Str(String),
+        /// Ordered sequence.
+        Seq(Vec<Content>),
+        /// Ordered string-keyed map (struct fields keep declaration order).
+        Map(Vec<(String, Content)>),
+    }
+}
+
+/// Serialization-side error support.
+pub mod ser {
+    /// Trait for errors produced while serializing.
+    pub trait Error: Sized {
+        /// Builds an error from a display-able message.
+        fn custom<T: std::fmt::Display>(msg: T) -> Self;
+    }
+}
+
+/// Deserialization-side error support.
+pub mod de {
+    /// Trait for errors produced while deserializing.
+    pub trait Error: Sized {
+        /// Builds an error from a display-able message.
+        fn custom<T: std::fmt::Display>(msg: T) -> Self;
+    }
+}
+
+/// A data structure that can be serialized.
+pub trait Serialize {
+    /// Serializes `self` into the given serializer.
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error>;
+}
+
+/// A data structure that can be deserialized.
+pub trait Deserialize<'de>: Sized {
+    /// Deserializes a value from the given deserializer.
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error>;
+}
+
+/// A format backend that consumes a [`Content`] tree.
+pub trait Serializer: Sized {
+    /// Output produced on success.
+    type Ok;
+    /// Error type.
+    type Error: ser::Error;
+
+    /// Consumes a fully built value tree.
+    fn serialize_content(self, content: Content) -> Result<Self::Ok, Self::Error>;
+}
+
+/// A format backend that produces a [`Content`] tree.
+pub trait Deserializer<'de>: Sized {
+    /// Error type.
+    type Error: de::Error;
+
+    /// Produces the next value as a tree.
+    fn deserialize_content(self) -> Result<Content, Self::Error>;
+}
+
+// ---------------------------------------------------------------------------
+// Serialize impls for primitives and std containers.
+// ---------------------------------------------------------------------------
+
+macro_rules! serialize_unsigned {
+    ($($ty:ty),*) => {$(
+        impl Serialize for $ty {
+            fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+                serializer.serialize_content(Content::U64(*self as u64))
+            }
+        }
+    )*};
+}
+
+macro_rules! serialize_signed {
+    ($($ty:ty),*) => {$(
+        impl Serialize for $ty {
+            fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+                let v = *self as i64;
+                let content = if v >= 0 {
+                    Content::U64(v as u64)
+                } else {
+                    Content::I64(v)
+                };
+                serializer.serialize_content(content)
+            }
+        }
+    )*};
+}
+
+serialize_unsigned!(u8, u16, u32, u64, usize);
+serialize_signed!(i8, i16, i32, i64, isize);
+
+impl Serialize for bool {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        serializer.serialize_content(Content::Bool(*self))
+    }
+}
+
+impl Serialize for f32 {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        serializer.serialize_content(Content::F64(*self as f64))
+    }
+}
+
+impl Serialize for f64 {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        serializer.serialize_content(Content::F64(*self))
+    }
+}
+
+impl Serialize for str {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        serializer.serialize_content(Content::Str(self.to_owned()))
+    }
+}
+
+impl Serialize for String {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        self.as_str().serialize(serializer)
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        (**self).serialize(serializer)
+    }
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        let seq = self.iter().map(__private::to_content).collect();
+        serializer.serialize_content(Content::Seq(seq))
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        self.as_slice().serialize(serializer)
+    }
+}
+
+impl<T: Serialize, const N: usize> Serialize for [T; N] {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        self.as_slice().serialize(serializer)
+    }
+}
+
+impl<T: Serialize> Serialize for std::collections::BTreeSet<T> {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        let seq = self.iter().map(__private::to_content).collect();
+        serializer.serialize_content(Content::Seq(seq))
+    }
+}
+
+impl<T: Serialize> Serialize for std::collections::HashSet<T> {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        let seq = self.iter().map(__private::to_content).collect();
+        serializer.serialize_content(Content::Seq(seq))
+    }
+}
+
+impl<V: Serialize> Serialize for std::collections::BTreeMap<String, V> {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        let map = self
+            .iter()
+            .map(|(k, v)| (k.clone(), __private::to_content(v)))
+            .collect();
+        serializer.serialize_content(Content::Map(map))
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        match self {
+            None => serializer.serialize_content(Content::Null),
+            Some(value) => value.serialize(serializer),
+        }
+    }
+}
+
+impl Serialize for Content {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        serializer.serialize_content(self.clone())
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Deserialize impls for primitives and std containers.
+// ---------------------------------------------------------------------------
+
+macro_rules! deserialize_int {
+    ($($ty:ty),*) => {$(
+        impl<'de> Deserialize<'de> for $ty {
+            fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+                match deserializer.deserialize_content()? {
+                    Content::U64(v) => <$ty>::try_from(v).map_err(|_| {
+                        de::Error::custom(format!("integer {v} out of range for {}", stringify!($ty)))
+                    }),
+                    Content::I64(v) => <$ty>::try_from(v).map_err(|_| {
+                        de::Error::custom(format!("integer {v} out of range for {}", stringify!($ty)))
+                    }),
+                    other => Err(de::Error::custom(format!(
+                        "invalid type: expected integer, found {other:?}"
+                    ))),
+                }
+            }
+        }
+    )*};
+}
+
+deserialize_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl<'de> Deserialize<'de> for bool {
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        match deserializer.deserialize_content()? {
+            Content::Bool(v) => Ok(v),
+            other => Err(de::Error::custom(format!(
+                "invalid type: expected bool, found {other:?}"
+            ))),
+        }
+    }
+}
+
+impl<'de> Deserialize<'de> for f64 {
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        match deserializer.deserialize_content()? {
+            Content::F64(v) => Ok(v),
+            Content::U64(v) => Ok(v as f64),
+            Content::I64(v) => Ok(v as f64),
+            other => Err(de::Error::custom(format!(
+                "invalid type: expected float, found {other:?}"
+            ))),
+        }
+    }
+}
+
+impl<'de> Deserialize<'de> for f32 {
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        f64::deserialize(deserializer).map(|v| v as f32)
+    }
+}
+
+impl<'de> Deserialize<'de> for String {
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        match deserializer.deserialize_content()? {
+            Content::Str(v) => Ok(v),
+            other => Err(de::Error::custom(format!(
+                "invalid type: expected string, found {other:?}"
+            ))),
+        }
+    }
+}
+
+impl<'de, T: Deserialize<'de>> Deserialize<'de> for Vec<T> {
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        match deserializer.deserialize_content()? {
+            Content::Seq(items) => items
+                .into_iter()
+                .map(|item| __private::from_content::<T, D::Error>(item))
+                .collect(),
+            other => Err(de::Error::custom(format!(
+                "invalid type: expected sequence, found {other:?}"
+            ))),
+        }
+    }
+}
+
+impl<'de, T: Deserialize<'de> + Ord> Deserialize<'de> for std::collections::BTreeSet<T> {
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        Vec::<T>::deserialize(deserializer).map(|items| items.into_iter().collect())
+    }
+}
+
+impl<'de, T: Deserialize<'de> + Eq + std::hash::Hash> Deserialize<'de>
+    for std::collections::HashSet<T>
+{
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        Vec::<T>::deserialize(deserializer).map(|items| items.into_iter().collect())
+    }
+}
+
+impl<'de, V: Deserialize<'de>> Deserialize<'de> for std::collections::BTreeMap<String, V> {
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        match deserializer.deserialize_content()? {
+            Content::Map(entries) => entries
+                .into_iter()
+                .map(|(k, v)| Ok((k, __private::from_content::<V, D::Error>(v)?)))
+                .collect(),
+            other => Err(de::Error::custom(format!(
+                "invalid type: expected map, found {other:?}"
+            ))),
+        }
+    }
+}
+
+impl<'de, T: Deserialize<'de>> Deserialize<'de> for Option<T> {
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        match deserializer.deserialize_content()? {
+            Content::Null => Ok(None),
+            other => __private::from_content::<T, D::Error>(other).map(Some),
+        }
+    }
+}
+
+impl<'de> Deserialize<'de> for Content {
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        deserializer.deserialize_content()
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Private support used by derive-generated code and format crates.
+// ---------------------------------------------------------------------------
+
+/// Support machinery for generated code and format backends. Not part of the
+/// stable shim API.
+#[doc(hidden)]
+pub mod __private {
+    use super::*;
+
+    /// Serializer that materializes the value tree; cannot fail.
+    pub struct ContentSerializer;
+
+    /// Unreachable error for [`ContentSerializer`].
+    #[derive(Debug)]
+    pub struct Impossible(pub String);
+
+    impl ser::Error for Impossible {
+        fn custom<T: std::fmt::Display>(msg: T) -> Self {
+            Impossible(msg.to_string())
+        }
+    }
+
+    impl Serializer for ContentSerializer {
+        type Ok = Content;
+        type Error = Impossible;
+
+        fn serialize_content(self, content: Content) -> Result<Content, Impossible> {
+            Ok(content)
+        }
+    }
+
+    /// Deserializer that replays a value tree, reporting errors as `E`.
+    pub struct ContentDeserializer<E> {
+        content: Content,
+        marker: std::marker::PhantomData<E>,
+    }
+
+    impl<'de, E: de::Error> Deserializer<'de> for ContentDeserializer<E> {
+        type Error = E;
+
+        fn deserialize_content(self) -> Result<Content, E> {
+            Ok(self.content)
+        }
+    }
+
+    /// Serializes any value into a [`Content`] tree.
+    pub fn to_content<T: Serialize + ?Sized>(value: &T) -> Content {
+        match value.serialize(ContentSerializer) {
+            Ok(content) => content,
+            Err(Impossible(msg)) => unreachable!("ContentSerializer cannot fail: {msg}"),
+        }
+    }
+
+    /// Deserializes any value from a [`Content`] tree.
+    pub fn from_content<'de, T: Deserialize<'de>, E: de::Error>(content: Content) -> Result<T, E> {
+        T::deserialize(ContentDeserializer {
+            content,
+            marker: std::marker::PhantomData,
+        })
+    }
+
+    /// Removes and returns the first map entry with the given key.
+    pub fn take_field(fields: &mut Vec<(String, Content)>, key: &str) -> Option<Content> {
+        let index = fields.iter().position(|(name, _)| name == key)?;
+        Some(fields.remove(index).1)
+    }
+
+    /// Builds a "missing field" error.
+    pub fn missing_field<E: de::Error>(key: &str) -> E {
+        E::custom(format!("missing field `{key}`"))
+    }
+
+    /// Builds an "expected map" error.
+    pub fn expected_map<E: de::Error>(found: &Content) -> E {
+        E::custom(format!("invalid type: expected map, found {found:?}"))
+    }
+}

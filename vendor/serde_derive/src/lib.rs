@@ -1,0 +1,238 @@
+//! Offline shim for the `serde_derive` proc-macro crate.
+//!
+//! Implements `#[derive(Serialize, Deserialize)]` for the struct shapes
+//! this workspace uses: non-generic structs with named fields, plus the
+//! `#[serde(skip)]` and `#[serde(default = "path")]` field attributes.
+//! The generated code pivots through the vendored serde shim's `Content`
+//! tree instead of real serde's visitor machinery. Written against the
+//! bare `proc_macro` API because `syn`/`quote` are unavailable offline.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+struct Field {
+    name: String,
+    /// `#[serde(skip)]`: never serialized, restored from a default.
+    skip: bool,
+    /// `#[serde(default = "path")]`: function producing the default.
+    default_fn: Option<String>,
+}
+
+struct Struct {
+    name: String,
+    fields: Vec<Field>,
+}
+
+/// Parses the `( ... )` contents of a `#[serde(...)]` attribute.
+fn parse_serde_attr(field: &mut Field, tokens: TokenStream) {
+    let mut iter = tokens.into_iter().peekable();
+    while let Some(token) = iter.next() {
+        match token {
+            TokenTree::Ident(ident) => match ident.to_string().as_str() {
+                "skip" => field.skip = true,
+                "default" => {
+                    // Expect `= "path"`.
+                    match (iter.next(), iter.next()) {
+                        (Some(TokenTree::Punct(eq)), Some(TokenTree::Literal(lit)))
+                            if eq.as_char() == '=' =>
+                        {
+                            let raw = lit.to_string();
+                            field.default_fn = Some(raw.trim_matches('"').to_string());
+                        }
+                        _ => panic!("serde shim: expected `default = \"path\"`"),
+                    }
+                }
+                other => panic!("serde shim: unsupported serde attribute `{other}`"),
+            },
+            TokenTree::Punct(p) if p.as_char() == ',' => {}
+            other => panic!("serde shim: unexpected token in serde attribute: {other}"),
+        }
+    }
+}
+
+/// Parses `struct Name { fields }` out of the derive input, skipping
+/// attributes, visibility and doc comments. Generics are unsupported.
+fn parse_struct(input: TokenStream) -> Struct {
+    let mut iter = input.into_iter().peekable();
+
+    // Skip outer attributes (e.g. doc comments, other derives' leftovers).
+    let name = loop {
+        match iter.next() {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                iter.next(); // the [...] group
+            }
+            Some(TokenTree::Ident(ident)) => {
+                let word = ident.to_string();
+                if word == "struct" {
+                    match iter.next() {
+                        Some(TokenTree::Ident(name)) => break name.to_string(),
+                        other => panic!("serde shim: expected struct name, got {other:?}"),
+                    }
+                } else if word == "enum" || word == "union" {
+                    panic!("serde shim: only structs with named fields are supported");
+                }
+                // `pub`, `pub(crate)` etc. fall through.
+            }
+            Some(TokenTree::Group(_)) => {} // visibility restriction `(crate)`
+            Some(other) => panic!("serde shim: unexpected token {other}"),
+            None => panic!("serde shim: no struct found in derive input"),
+        }
+    };
+
+    // Next token tree must be the brace-delimited field list (generics are
+    // not supported; `<` here is a hard error).
+    let body = match iter.next() {
+        Some(TokenTree::Group(group)) if group.delimiter() == Delimiter::Brace => group.stream(),
+        Some(TokenTree::Punct(p)) if p.as_char() == '<' => {
+            panic!("serde shim: generic structs are not supported")
+        }
+        other => panic!("serde shim: expected named-field struct body, got {other:?}"),
+    };
+
+    // Parse the fields.
+    let mut fields = Vec::new();
+    let mut iter = body.into_iter().peekable();
+    loop {
+        let mut field = Field {
+            name: String::new(),
+            skip: false,
+            default_fn: None,
+        };
+        // Leading attributes.
+        loop {
+            match iter.peek() {
+                Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                    iter.next();
+                    let group = match iter.next() {
+                        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Bracket => g,
+                        other => panic!("serde shim: malformed attribute: {other:?}"),
+                    };
+                    let mut inner = group.stream().into_iter();
+                    if let Some(TokenTree::Ident(ident)) = inner.next() {
+                        if ident.to_string() == "serde" {
+                            if let Some(TokenTree::Group(args)) = inner.next() {
+                                parse_serde_attr(&mut field, args.stream());
+                            }
+                        }
+                    }
+                }
+                _ => break,
+            }
+        }
+        // Visibility.
+        if let Some(TokenTree::Ident(ident)) = iter.peek() {
+            if ident.to_string() == "pub" {
+                iter.next();
+                if let Some(TokenTree::Group(g)) = iter.peek() {
+                    if g.delimiter() == Delimiter::Parenthesis {
+                        iter.next();
+                    }
+                }
+            }
+        }
+        // Field name (or end of body after a trailing comma).
+        match iter.next() {
+            Some(TokenTree::Ident(ident)) => field.name = ident.to_string(),
+            None => break,
+            other => panic!("serde shim: expected field name, got {other:?}"),
+        }
+        match iter.next() {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => {}
+            other => panic!("serde shim: expected `:` after field name, got {other:?}"),
+        }
+        // Skip the type: consume until a comma at zero angle-bracket depth.
+        let mut depth = 0i32;
+        for token in iter.by_ref() {
+            match token {
+                TokenTree::Punct(p) if p.as_char() == '<' => depth += 1,
+                TokenTree::Punct(p) if p.as_char() == '>' => depth -= 1,
+                TokenTree::Punct(p) if p.as_char() == ',' && depth == 0 => break,
+                _ => {}
+            }
+        }
+        fields.push(field);
+    }
+
+    Struct { name, fields }
+}
+
+/// Derives the shim's `Serialize` for a named-field struct.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let parsed = parse_struct(input);
+    let mut pushes = String::new();
+    for field in &parsed.fields {
+        if field.skip {
+            continue;
+        }
+        pushes.push_str(&format!(
+            "__fields.push((::std::string::String::from(\"{name}\"), \
+             serde::__private::to_content(&self.{name})));\n",
+            name = field.name
+        ));
+    }
+    let code = format!(
+        "impl serde::Serialize for {name} {{\n\
+             fn serialize<__S: serde::Serializer>(&self, __serializer: __S)\n\
+                 -> ::std::result::Result<__S::Ok, __S::Error> {{\n\
+                 let mut __fields: ::std::vec::Vec<(::std::string::String, serde::Content)> =\n\
+                     ::std::vec::Vec::new();\n\
+                 {pushes}\
+                 serde::Serializer::serialize_content(__serializer, serde::Content::Map(__fields))\n\
+             }}\n\
+         }}\n",
+        name = parsed.name,
+    );
+    code.parse()
+        .expect("serde shim: generated invalid Serialize impl")
+}
+
+/// Derives the shim's `Deserialize` for a named-field struct.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let parsed = parse_struct(input);
+    let mut inits = String::new();
+    for field in &parsed.fields {
+        let name = &field.name;
+        if field.skip {
+            let default = field
+                .default_fn
+                .clone()
+                .unwrap_or_else(|| "::std::default::Default::default".to_string());
+            inits.push_str(&format!("{name}: {default}(),\n"));
+        } else if let Some(default) = &field.default_fn {
+            inits.push_str(&format!(
+                "{name}: match serde::__private::take_field(&mut __fields, \"{name}\") {{\n\
+                     ::std::option::Option::Some(__v) =>\n\
+                         serde::__private::from_content::<_, __D::Error>(__v)?,\n\
+                     ::std::option::Option::None => {default}(),\n\
+                 }},\n"
+            ));
+        } else {
+            inits.push_str(&format!(
+                "{name}: serde::__private::from_content::<_, __D::Error>(\n\
+                     serde::__private::take_field(&mut __fields, \"{name}\")\n\
+                         .ok_or_else(|| serde::__private::missing_field::<__D::Error>(\"{name}\"))?,\n\
+                 )?,\n"
+            ));
+        }
+    }
+    let code = format!(
+        "impl<'de> serde::Deserialize<'de> for {name} {{\n\
+             fn deserialize<__D: serde::Deserializer<'de>>(__deserializer: __D)\n\
+                 -> ::std::result::Result<Self, __D::Error> {{\n\
+                 let __content = serde::Deserializer::deserialize_content(__deserializer)?;\n\
+                 let mut __fields = match __content {{\n\
+                     serde::Content::Map(__m) => __m,\n\
+                     __other => return ::std::result::Result::Err(\n\
+                         serde::__private::expected_map::<__D::Error>(&__other)),\n\
+                 }};\n\
+                 ::std::result::Result::Ok({name} {{\n\
+                     {inits}\
+                 }})\n\
+             }}\n\
+         }}\n",
+        name = parsed.name,
+    );
+    code.parse()
+        .expect("serde shim: generated invalid Deserialize impl")
+}

@@ -1,0 +1,393 @@
+//! Offline shim for the [`serde_json`](https://crates.io/crates/serde_json)
+//! crate.
+//!
+//! The build environment has no network access, so this workspace vendors
+//! the subset it uses: [`to_string`], [`from_str`], [`from_value`], the
+//! [`Value`] tree with `value["key"][index]` indexing, and the [`json!`]
+//! macro for literals, arrays and objects. Numbers preserve full `u64` /
+//! `i64` fidelity (sketch register hashes exceed 2^53). Non-finite floats
+//! serialize as `null`, as in real serde_json.
+
+use serde::content::Content;
+use serde::Serialize;
+
+mod parse;
+mod write;
+
+pub use parse::from_str_value;
+
+/// Error produced by any serde_json shim operation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Error(String);
+
+impl std::fmt::Display for Error {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+impl std::error::Error for Error {}
+
+impl serde::de::Error for Error {
+    fn custom<T: std::fmt::Display>(msg: T) -> Self {
+        Error(msg.to_string())
+    }
+}
+
+impl serde::ser::Error for Error {
+    fn custom<T: std::fmt::Display>(msg: T) -> Self {
+        Error(msg.to_string())
+    }
+}
+
+/// A JSON number: nonnegative integer, negative integer, or float.
+#[derive(Debug, Clone, Copy)]
+pub enum Number {
+    /// Nonnegative integer (stores every `u64` exactly).
+    PosInt(u64),
+    /// Negative integer.
+    NegInt(i64),
+    /// Float.
+    Float(f64),
+}
+
+impl Number {
+    /// Returns the number as `f64` (lossy above 2^53).
+    pub fn as_f64(&self) -> f64 {
+        match *self {
+            Number::PosInt(v) => v as f64,
+            Number::NegInt(v) => v as f64,
+            Number::Float(v) => v,
+        }
+    }
+
+    /// Returns the number as `u64` if it is a nonnegative integer.
+    pub fn as_u64(&self) -> Option<u64> {
+        match *self {
+            Number::PosInt(v) => Some(v),
+            _ => None,
+        }
+    }
+
+    /// Returns the number as `i64` if it is an integer in range.
+    pub fn as_i64(&self) -> Option<i64> {
+        match *self {
+            Number::PosInt(v) => i64::try_from(v).ok(),
+            Number::NegInt(v) => Some(v),
+            Number::Float(_) => None,
+        }
+    }
+}
+
+impl PartialEq for Number {
+    fn eq(&self, other: &Self) -> bool {
+        match (self, other) {
+            (Number::PosInt(a), Number::PosInt(b)) => a == b,
+            (Number::NegInt(a), Number::NegInt(b)) => a == b,
+            (Number::Float(a), Number::Float(b)) => a == b,
+            (Number::PosInt(a), Number::NegInt(b)) | (Number::NegInt(b), Number::PosInt(a)) => {
+                i64::try_from(*a).is_ok_and(|a| a == *b)
+            }
+            (Number::Float(f), other) | (other, Number::Float(f)) => *f == other.as_f64(),
+        }
+    }
+}
+
+/// A parsed JSON document.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub enum Value {
+    /// `null`.
+    #[default]
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// A number.
+    Number(Number),
+    /// A string.
+    String(String),
+    /// An array.
+    Array(Vec<Value>),
+    /// An object; insertion order is preserved.
+    Object(Vec<(String, Value)>),
+}
+
+impl Value {
+    /// Member access on objects; returns `Null` for missing keys or
+    /// non-objects (matching real serde_json's `Index for &str`).
+    pub fn get(&self, key: &str) -> Option<&Value> {
+        match self {
+            Value::Object(entries) => entries.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+}
+
+const NULL: Value = Value::Null;
+
+impl std::ops::Index<&str> for Value {
+    type Output = Value;
+
+    fn index(&self, key: &str) -> &Value {
+        self.get(key).unwrap_or(&NULL)
+    }
+}
+
+impl std::ops::IndexMut<&str> for Value {
+    fn index_mut(&mut self, key: &str) -> &mut Value {
+        if let Value::Null = self {
+            *self = Value::Object(Vec::new());
+        }
+        match self {
+            Value::Object(entries) => {
+                if let Some(index) = entries.iter().position(|(k, _)| k == key) {
+                    &mut entries[index].1
+                } else {
+                    entries.push((key.to_owned(), Value::Null));
+                    &mut entries.last_mut().expect("just pushed").1
+                }
+            }
+            other => panic!("cannot index {other:?} with a string key"),
+        }
+    }
+}
+
+impl std::ops::Index<usize> for Value {
+    type Output = Value;
+
+    fn index(&self, index: usize) -> &Value {
+        match self {
+            Value::Array(items) => items.get(index).unwrap_or(&NULL),
+            _ => &NULL,
+        }
+    }
+}
+
+impl std::ops::IndexMut<usize> for Value {
+    fn index_mut(&mut self, index: usize) -> &mut Value {
+        match self {
+            Value::Array(items) => &mut items[index],
+            other => panic!("cannot index {other:?} with an array index"),
+        }
+    }
+}
+
+macro_rules! value_from_unsigned {
+    ($($ty:ty),*) => {$(
+        impl From<$ty> for Value {
+            fn from(v: $ty) -> Value {
+                Value::Number(Number::PosInt(v as u64))
+            }
+        }
+    )*};
+}
+
+macro_rules! value_from_signed {
+    ($($ty:ty),*) => {$(
+        impl From<$ty> for Value {
+            fn from(v: $ty) -> Value {
+                let v = v as i64;
+                if v >= 0 {
+                    Value::Number(Number::PosInt(v as u64))
+                } else {
+                    Value::Number(Number::NegInt(v))
+                }
+            }
+        }
+    )*};
+}
+
+value_from_unsigned!(u8, u16, u32, u64, usize);
+value_from_signed!(i8, i16, i32, i64, isize);
+
+impl From<f64> for Value {
+    fn from(v: f64) -> Value {
+        Value::Number(Number::Float(v))
+    }
+}
+
+impl From<f32> for Value {
+    fn from(v: f32) -> Value {
+        Value::Number(Number::Float(v as f64))
+    }
+}
+
+impl From<bool> for Value {
+    fn from(v: bool) -> Value {
+        Value::Bool(v)
+    }
+}
+
+impl From<&str> for Value {
+    fn from(v: &str) -> Value {
+        Value::String(v.to_owned())
+    }
+}
+
+impl From<String> for Value {
+    fn from(v: String) -> Value {
+        Value::String(v)
+    }
+}
+
+impl<T: Into<Value>> From<Vec<T>> for Value {
+    fn from(items: Vec<T>) -> Value {
+        Value::Array(items.into_iter().map(Into::into).collect())
+    }
+}
+
+fn value_to_content(value: Value) -> Content {
+    match value {
+        Value::Null => Content::Null,
+        Value::Bool(v) => Content::Bool(v),
+        Value::Number(Number::PosInt(v)) => Content::U64(v),
+        Value::Number(Number::NegInt(v)) => Content::I64(v),
+        Value::Number(Number::Float(v)) => Content::F64(v),
+        Value::String(v) => Content::Str(v),
+        Value::Array(items) => Content::Seq(items.into_iter().map(value_to_content).collect()),
+        Value::Object(entries) => Content::Map(
+            entries
+                .into_iter()
+                .map(|(k, v)| (k, value_to_content(v)))
+                .collect(),
+        ),
+    }
+}
+
+fn content_to_value(content: Content) -> Value {
+    match content {
+        Content::Null => Value::Null,
+        Content::Bool(v) => Value::Bool(v),
+        Content::U64(v) => Value::Number(Number::PosInt(v)),
+        Content::I64(v) => Value::Number(Number::NegInt(v)),
+        Content::F64(v) => Value::Number(Number::Float(v)),
+        Content::Str(v) => Value::String(v),
+        Content::Seq(items) => Value::Array(items.into_iter().map(content_to_value).collect()),
+        Content::Map(entries) => Value::Object(
+            entries
+                .into_iter()
+                .map(|(k, v)| (k, content_to_value(v)))
+                .collect(),
+        ),
+    }
+}
+
+impl serde::Serialize for Value {
+    fn serialize<S: serde::Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        serializer.serialize_content(value_to_content(self.clone()))
+    }
+}
+
+impl<'de> serde::Deserialize<'de> for Value {
+    fn deserialize<D: serde::Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        deserializer.deserialize_content().map(content_to_value)
+    }
+}
+
+/// Serializes a value to its compact JSON text.
+pub fn to_string<T: Serialize + ?Sized>(value: &T) -> Result<String, Error> {
+    let content = serde::__private::to_content(value);
+    let mut out = String::new();
+    write::write_content(&mut out, &content);
+    Ok(out)
+}
+
+/// Deserializes a value from JSON text.
+pub fn from_str<'de, T: serde::Deserialize<'de>>(text: &str) -> Result<T, Error> {
+    let value = parse::from_str_value(text)?;
+    from_value(value)
+}
+
+/// Deserializes a value from an already-parsed [`Value`] tree.
+pub fn from_value<'de, T: serde::Deserialize<'de>>(value: Value) -> Result<T, Error> {
+    serde::__private::from_content(value_to_content(value))
+}
+
+/// Builds a [`Value`] from a JSON-ish literal.
+///
+/// Array elements and object values must each be a single token tree;
+/// parenthesize compound expressions (e.g. `json!({"x": (-7)})`).
+#[macro_export]
+macro_rules! json {
+    (null) => { $crate::Value::Null };
+    ([ $($element:tt),* $(,)? ]) => {
+        $crate::Value::Array(vec![ $( $crate::json!($element) ),* ])
+    };
+    ({ $($key:literal : $value:tt),* $(,)? }) => {
+        $crate::Value::Object(vec![ $( ($key.to_string(), $crate::json!($value)) ),* ])
+    };
+    ($other:expr) => { $crate::Value::from($other) };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn value_roundtrip() {
+        let v = json!({
+            "name": "sketch",
+            "registers": [1, 2, 3],
+            "seed": 42,
+            "b": 2.5,
+            "neg": (-7),
+            "flag": true,
+            "nothing": null
+        });
+        let text = to_string(&v).unwrap();
+        let back: Value = from_str(&text).unwrap();
+        assert_eq!(back, v);
+    }
+
+    #[test]
+    fn u64_fidelity_above_2_pow_53() {
+        let big = u64::MAX - 1;
+        let text = to_string(&big).unwrap();
+        assert_eq!(text, format!("{big}"));
+        let back: u64 = from_str(&text).unwrap();
+        assert_eq!(back, big);
+    }
+
+    #[test]
+    fn float_roundtrip_is_exact() {
+        for x in [0.1f64, 1.0 / 3.0, 6.02e23, 1e-300, -2.5] {
+            let text = to_string(&x).unwrap();
+            let back: f64 = from_str(&text).unwrap();
+            assert_eq!(back, x, "{text}");
+        }
+    }
+
+    #[test]
+    fn nonfinite_floats_serialize_as_null() {
+        assert_eq!(to_string(&f64::INFINITY).unwrap(), "null");
+        assert!(from_str::<f64>("null").is_err());
+    }
+
+    #[test]
+    fn indexing_and_mutation() {
+        let mut v = json!({"registers": [1, 2, 3]});
+        assert_eq!(v["registers"][1], json!(2));
+        v["registers"][0] = json!(64);
+        assert_eq!(v["registers"][0], json!(64));
+        v["registers"] = json!([9]);
+        assert_eq!(v["registers"], json!([9]));
+        assert_eq!(v["missing"], Value::Null);
+    }
+
+    #[test]
+    fn string_escapes_roundtrip() {
+        let v = json!("quote \" backslash \\ newline \n tab \t unicode \u{1F600}");
+        let text = to_string(&v).unwrap();
+        let back: Value = from_str(&text).unwrap();
+        assert_eq!(back, v);
+    }
+
+    #[test]
+    fn type_errors_are_reported() {
+        assert!(from_str::<u32>("\"nope\"").is_err());
+        assert!(from_str::<u32>("-1").is_err());
+        assert!(from_str::<Vec<u32>>("7").is_err());
+        assert!(from_str::<Value>("{unquoted: 1}").is_err());
+        assert!(from_str::<Value>("[1, 2").is_err());
+        assert!(from_str::<Value>("[1] trailing").is_err());
+    }
+}

@@ -1,0 +1,71 @@
+//! Compact JSON writer over the serde shim's `Content` tree.
+
+use serde::content::Content;
+
+/// Appends the compact JSON encoding of `content` to `out`.
+pub fn write_content(out: &mut String, content: &Content) {
+    match content {
+        Content::Null => out.push_str("null"),
+        Content::Bool(true) => out.push_str("true"),
+        Content::Bool(false) => out.push_str("false"),
+        Content::U64(v) => out.push_str(&v.to_string()),
+        Content::I64(v) => out.push_str(&v.to_string()),
+        Content::F64(v) => write_f64(out, *v),
+        Content::Str(v) => write_string(out, v),
+        Content::Seq(items) => {
+            out.push('[');
+            for (i, item) in items.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                write_content(out, item);
+            }
+            out.push(']');
+        }
+        Content::Map(entries) => {
+            out.push('{');
+            for (i, (key, value)) in entries.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                write_string(out, key);
+                out.push(':');
+                write_content(out, value);
+            }
+            out.push('}');
+        }
+    }
+}
+
+/// Writes a float. Rust's shortest-roundtrip `Display` output is valid JSON
+/// for finite values; non-finite values become `null` (serde_json behavior).
+fn write_f64(out: &mut String, v: f64) {
+    if v.is_finite() {
+        let text = v.to_string();
+        out.push_str(&text);
+        // `1e300` style output from Display never happens for f64 (`{}`
+        // always expands digits), so `text` parses back as a JSON number.
+    } else {
+        out.push_str("null");
+    }
+}
+
+fn write_string(out: &mut String, text: &str) {
+    out.push('"');
+    for c in text.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            '\u{8}' => out.push_str("\\b"),
+            '\u{c}' => out.push_str("\\f"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
