@@ -1,0 +1,136 @@
+//! Throughput of the sharded sketch store.
+//!
+//! Measures the serving-layer costs the store adds on top of the raw
+//! sketches:
+//!
+//! * batched ingest vs per-element insert (one lock acquisition per
+//!   batch, plus SetSketch's sorted-batch `K_low` early exit);
+//! * multi-threaded ingest scaling across shards;
+//! * cross-key joint queries (lock + estimator).
+
+use bench::bench_elements;
+use criterion::{black_box, criterion_group, criterion_main, Criterion, Throughput};
+use setsketch::{SetSketch2, SetSketchConfig};
+use sketch_store::SketchStore;
+
+fn store_config() -> SetSketchConfig {
+    SetSketchConfig::new(256, 2.0, 20.0, 62).expect("valid")
+}
+
+fn new_store(shards: usize) -> SketchStore<SetSketch2> {
+    let config = store_config();
+    SketchStore::with_shards(shards, move || SetSketch2::new(config, 7))
+}
+
+fn bench_ingest(c: &mut Criterion) {
+    const BATCH: u64 = 10_000;
+    let elements: Vec<u64> = bench_elements(1, BATCH).collect();
+    let mut group = c.benchmark_group("store_throughput");
+    group.throughput(Throughput::Elements(BATCH));
+
+    group.bench_function("ingest_batched", |bencher| {
+        let store = new_store(16);
+        bencher.iter(|| store.ingest("key", black_box(&elements)));
+    });
+
+    group.bench_function("insert_per_element", |bencher| {
+        let store = new_store(16);
+        bencher.iter(|| {
+            for &e in &elements {
+                store.insert("key", black_box(e));
+            }
+        });
+    });
+
+    // The same batch recorded into a bare sketch: the store's overhead
+    // is the difference to ingest_batched.
+    group.bench_function("bare_sketch_batched", |bencher| {
+        let mut sketch = SetSketch2::new(store_config(), 7);
+        bencher.iter(|| sketch_core::BatchInsert::insert_batch(&mut sketch, black_box(&elements)));
+    });
+
+    group.finish();
+}
+
+fn bench_parallel_ingest(c: &mut Criterion) {
+    const THREADS: u64 = 4;
+    const BATCH: u64 = 5_000;
+    let mut group = c.benchmark_group("store_throughput");
+    group.sample_size(20);
+    group.throughput(Throughput::Elements(THREADS * BATCH));
+
+    // Disjoint keys: each thread owns a key; shards absorb the traffic.
+    group.bench_function(
+        format!("parallel_ingest/{THREADS}threads_disjoint_keys"),
+        |bencher| {
+            let store = new_store(16);
+            let batches: Vec<Vec<u64>> = (0..THREADS)
+                .map(|t| bench_elements(t, BATCH).collect())
+                .collect();
+            bencher.iter(|| {
+                std::thread::scope(|scope| {
+                    for (t, batch) in batches.iter().enumerate() {
+                        let store = &store;
+                        scope.spawn(move || store.ingest(&format!("key{t}"), black_box(batch)));
+                    }
+                });
+            });
+        },
+    );
+
+    // One hot key: all threads contend on a single shard lock.
+    group.bench_function(
+        format!("parallel_ingest/{THREADS}threads_hot_key"),
+        |bencher| {
+            let store = new_store(16);
+            let batches: Vec<Vec<u64>> = (0..THREADS)
+                .map(|t| bench_elements(t, BATCH).collect())
+                .collect();
+            bencher.iter(|| {
+                std::thread::scope(|scope| {
+                    for batch in &batches {
+                        let store = &store;
+                        scope.spawn(move || store.ingest("hot", black_box(batch)));
+                    }
+                });
+            });
+        },
+    );
+
+    group.finish();
+}
+
+fn bench_queries(c: &mut Criterion) {
+    let store = new_store(16);
+    for k in 0..8u64 {
+        let elements: Vec<u64> = bench_elements(k, 20_000)
+            .chain(bench_elements(100, 20_000))
+            .collect();
+        store.ingest(&format!("key{k}"), &elements);
+    }
+    let mut group = c.benchmark_group("store_queries");
+    group.bench_function("cardinality", |bencher| {
+        bencher.iter(|| store.cardinality(black_box("key0")).expect("present"))
+    });
+    group.bench_function("jaccard", |bencher| {
+        bencher.iter(|| {
+            store
+                .jaccard(black_box("key0"), black_box("key5"))
+                .expect("present")
+        })
+    });
+    group.bench_function("union_cardinality/4keys", |bencher| {
+        bencher.iter(|| {
+            store
+                .union_cardinality(&["key0", "key1", "key2", "key3"])
+                .expect("present")
+        })
+    });
+    group.bench_function("snapshot/8keys", |bencher| {
+        bencher.iter(|| store.snapshot().len())
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_ingest, bench_parallel_ingest, bench_queries);
+criterion_main!(benches);

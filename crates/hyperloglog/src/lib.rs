@@ -20,6 +20,7 @@
 //! ```
 
 pub mod ghll;
+pub mod interop;
 pub mod joint;
 pub mod pmf;
 

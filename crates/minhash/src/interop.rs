@@ -1,0 +1,187 @@
+//! [`sketch_core`] trait implementations for the MinHash family.
+//!
+//! [`MinHash`] and [`SuperMinHash`] implement the full trait set
+//! (insert, batch insert, merge, cardinality, joint estimation);
+//! [`OnePermutationHashing`] implements recording and merging but no
+//! estimators — its raw Jaccard estimator is biased for small sets
+//! (§1.2), so it is deliberately kept off the unified estimator surface.
+//! [`crate::BBitSignature`] is a derived, non-insertable signature and
+//! stays outside the trait layer entirely.
+
+use crate::classic::{IncompatibleMinHash, MinHash};
+use crate::oph::{IncompatibleOph, OnePermutationHashing};
+use crate::superminhash::{IncompatibleSuperMinHash, SuperMinHash};
+use sketch_core::{
+    BatchInsert, CardinalityEstimator, JointEstimator, JointQuantities, Mergeable, Sketch,
+};
+use sketch_rand::hash_bytes;
+
+impl Sketch for MinHash {
+    fn insert_u64(&mut self, element: u64) {
+        MinHash::insert_u64(self, element);
+    }
+
+    fn insert_bytes(&mut self, bytes: &[u8]) {
+        let hash = hash_bytes(bytes, self.seed());
+        self.insert_hash(hash);
+    }
+}
+
+impl BatchInsert for MinHash {}
+
+impl Mergeable for MinHash {
+    type MergeError = IncompatibleMinHash;
+
+    fn is_compatible(&self, other: &Self) -> bool {
+        MinHash::is_compatible(self, other)
+    }
+
+    fn merge_from(&mut self, other: &Self) -> Result<(), IncompatibleMinHash> {
+        self.merge(other)
+    }
+}
+
+impl CardinalityEstimator for MinHash {
+    fn cardinality(&self) -> f64 {
+        self.estimate_cardinality()
+    }
+}
+
+impl JointEstimator for MinHash {
+    type JointError = IncompatibleMinHash;
+
+    /// The paper's new closed-form estimator (17) with cardinalities
+    /// from (16).
+    fn joint(&self, other: &Self) -> Result<JointQuantities, IncompatibleMinHash> {
+        self.estimate_joint(other)
+    }
+}
+
+impl Sketch for SuperMinHash {
+    fn insert_u64(&mut self, element: u64) {
+        SuperMinHash::insert_u64(self, element);
+    }
+
+    fn insert_bytes(&mut self, bytes: &[u8]) {
+        let hash = hash_bytes(bytes, self.seed());
+        self.insert_hash(hash);
+    }
+}
+
+impl BatchInsert for SuperMinHash {}
+
+impl Mergeable for SuperMinHash {
+    type MergeError = IncompatibleSuperMinHash;
+
+    fn is_compatible(&self, other: &Self) -> bool {
+        SuperMinHash::is_compatible(self, other)
+    }
+
+    fn merge_from(&mut self, other: &Self) -> Result<(), IncompatibleSuperMinHash> {
+        self.merge(other)
+    }
+}
+
+impl CardinalityEstimator for SuperMinHash {
+    fn cardinality(&self) -> f64 {
+        self.estimate_cardinality()
+    }
+}
+
+impl JointEstimator for SuperMinHash {
+    type JointError = IncompatibleSuperMinHash;
+
+    /// Classic fraction-of-equal-components Jaccard combined with the
+    /// uniform-marginal cardinality estimator (16).
+    fn joint(&self, other: &Self) -> Result<JointQuantities, IncompatibleSuperMinHash> {
+        let jaccard = self.jaccard_classic(other)?;
+        Ok(JointQuantities::new(
+            self.estimate_cardinality(),
+            other.estimate_cardinality(),
+            jaccard,
+        ))
+    }
+}
+
+impl Sketch for OnePermutationHashing {
+    fn insert_u64(&mut self, element: u64) {
+        OnePermutationHashing::insert_u64(self, element);
+    }
+
+    fn insert_bytes(&mut self, bytes: &[u8]) {
+        // OPH has no raw-hash entry point; route the byte digest through
+        // the element path (one extra cheap hash).
+        let hash = hash_bytes(bytes, self.seed());
+        OnePermutationHashing::insert_u64(self, hash);
+    }
+}
+
+impl BatchInsert for OnePermutationHashing {}
+
+impl Mergeable for OnePermutationHashing {
+    type MergeError = IncompatibleOph;
+
+    fn is_compatible(&self, other: &Self) -> bool {
+        OnePermutationHashing::is_compatible(self, other)
+    }
+
+    fn merge_from(&mut self, other: &Self) -> Result<(), IncompatibleOph> {
+        self.merge(other)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn minhash_trait_surface_matches_inherent() {
+        let mut a = MinHash::new(512, 7);
+        let mut b = MinHash::new(512, 7);
+        a.insert_batch(&(0..1_000).collect::<Vec<_>>());
+        b.insert_batch(&(500..1_500).collect::<Vec<_>>());
+        assert_eq!(a.cardinality(), a.estimate_cardinality());
+        assert_eq!(
+            JointEstimator::joint(&a, &b).unwrap(),
+            a.estimate_joint(&b).unwrap()
+        );
+        let merged = Mergeable::merged_with(&a, &b).unwrap();
+        assert_eq!(merged, a.merged(&b).unwrap());
+    }
+
+    #[test]
+    fn superminhash_joint_estimates_similarity() {
+        let mut a = SuperMinHash::new(1024, 3);
+        let mut b = SuperMinHash::new(1024, 3);
+        a.extend(0..2_000);
+        b.extend(1_000..3_000);
+        let joint = JointEstimator::joint(&a, &b).unwrap();
+        // True Jaccard: 1000 / 3000 = 1/3.
+        assert!(
+            (joint.jaccard - 1.0 / 3.0).abs() < 0.08,
+            "{}",
+            joint.jaccard
+        );
+    }
+
+    #[test]
+    fn oph_merges_through_trait() {
+        let mut a = OnePermutationHashing::new(256, 5);
+        let mut b = OnePermutationHashing::new(256, 5);
+        a.extend(0..5_000);
+        b.extend(2_500..7_500);
+        let merged = Mergeable::merged_with(&a, &b).unwrap();
+        assert_eq!(merged, a.merged(&b).unwrap());
+        let incompatible = OnePermutationHashing::new(256, 6);
+        assert!(Mergeable::merge_from(&mut a, &incompatible).is_err());
+    }
+
+    #[test]
+    fn insert_bytes_distinguishes_elements() {
+        let mut a = MinHash::new(64, 1);
+        let mut b = MinHash::new(64, 1);
+        Sketch::insert_bytes(&mut a, b"left");
+        Sketch::insert_bytes(&mut b, b"right");
+        assert_ne!(a.values(), b.values());
+    }
+}

@@ -29,6 +29,7 @@
 
 pub mod bbit;
 pub mod classic;
+pub mod interop;
 pub mod oph;
 pub mod superminhash;
 

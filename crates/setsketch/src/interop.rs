@@ -1,0 +1,137 @@
+//! [`sketch_core`] trait implementations for SetSketch.
+//!
+//! These adapters let SetSketch participate in code written against the
+//! workspace-wide abstraction layer (the sharded sketch store, generic
+//! benchmarks, cross-family experiments) without giving up any of the
+//! inherent API.
+
+use crate::sequence::ValueSequence;
+use crate::sketch::{IncompatibleSketches, SetSketch};
+use sketch_core::{
+    BatchInsert, CardinalityEstimator, JointEstimator, JointQuantities, Mergeable, Sketch,
+};
+use sketch_rand::{hash_bytes, hash_u64};
+
+impl<S: ValueSequence> Sketch for SetSketch<S> {
+    fn insert_u64(&mut self, element: u64) {
+        SetSketch::insert_u64(self, element);
+    }
+
+    fn insert_bytes(&mut self, bytes: &[u8]) {
+        let hash = hash_bytes(bytes, self.seed());
+        self.insert_hash(hash);
+    }
+}
+
+impl<S: ValueSequence> BatchInsert for SetSketch<S> {
+    /// Batched Algorithm 1: the whole batch is hashed up front, sorted
+    /// and deduplicated, so repeated elements never touch the register
+    /// scan at all. Each surviving element still goes through the
+    /// `K_low` lower-bound early exit (paper §2.2), which tightens as
+    /// earlier batch elements raise the registers — for batches much
+    /// larger than m most elements terminate after a single comparison.
+    fn insert_batch(&mut self, elements: &[u64]) {
+        let seed = self.seed();
+        let mut hashes: Vec<u64> = elements.iter().map(|&e| hash_u64(e, seed)).collect();
+        hashes.sort_unstable();
+        hashes.dedup();
+        for hash in hashes {
+            self.insert_hash(hash);
+        }
+    }
+}
+
+impl<S: ValueSequence> Mergeable for SetSketch<S> {
+    type MergeError = IncompatibleSketches;
+
+    fn is_compatible(&self, other: &Self) -> bool {
+        SetSketch::is_compatible(self, other)
+    }
+
+    fn merge_from(&mut self, other: &Self) -> Result<(), IncompatibleSketches> {
+        self.merge(other)
+    }
+}
+
+impl<S: ValueSequence> CardinalityEstimator for SetSketch<S> {
+    fn cardinality(&self) -> f64 {
+        self.estimate_cardinality()
+    }
+}
+
+impl<S: ValueSequence> JointEstimator for SetSketch<S> {
+    type JointError = IncompatibleSketches;
+
+    fn joint(&self, other: &Self) -> Result<JointQuantities, IncompatibleSketches> {
+        Ok(self.estimate_joint(other)?.quantities)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::config::SetSketchConfig;
+    use crate::sketch::{SetSketch1, SetSketch2};
+    use sketch_core::{BatchInsert, CardinalityEstimator, JointEstimator, Mergeable, Sketch};
+
+    fn config() -> SetSketchConfig {
+        SetSketchConfig::new(256, 2.0, 20.0, 62).unwrap()
+    }
+
+    #[test]
+    fn batch_insert_equals_loop() {
+        let elements: Vec<u64> = (0..5_000).map(|i| i % 3_000).collect();
+        let mut batched = SetSketch1::new(config(), 3);
+        let mut looped = SetSketch1::new(config(), 3);
+        batched.insert_batch(&elements);
+        for &e in &elements {
+            looped.insert_u64(e);
+        }
+        assert_eq!(batched, looped);
+
+        let mut batched2 = SetSketch2::new(config(), 3);
+        let mut looped2 = SetSketch2::new(config(), 3);
+        batched2.insert_batch(&elements);
+        for &e in &elements {
+            looped2.insert_u64(e);
+        }
+        assert_eq!(batched2, looped2);
+    }
+
+    #[test]
+    fn batch_insert_is_incremental() {
+        // Splitting a stream into batches must give the same state as one
+        // big batch (the override may not depend on seeing everything).
+        let elements: Vec<u64> = (0..4_000).collect();
+        let mut whole = SetSketch1::new(config(), 5);
+        whole.insert_batch(&elements);
+        let mut chunked = SetSketch1::new(config(), 5);
+        for chunk in elements.chunks(700) {
+            chunked.insert_batch(chunk);
+        }
+        assert_eq!(whole, chunked);
+    }
+
+    #[test]
+    fn trait_estimators_match_inherent() {
+        let mut a = SetSketch1::new(config(), 1);
+        let mut b = SetSketch1::new(config(), 1);
+        a.insert_batch(&(0..10_000).collect::<Vec<_>>());
+        b.insert_batch(&(5_000..15_000).collect::<Vec<_>>());
+        assert_eq!(a.cardinality(), a.estimate_cardinality());
+        let joint = JointEstimator::joint(&a, &b).unwrap();
+        assert_eq!(joint, a.estimate_joint(&b).unwrap().quantities);
+        let merged = Mergeable::merged_with(&a, &b).unwrap();
+        assert_eq!(merged, a.merged(&b).unwrap());
+    }
+
+    #[test]
+    fn insert_bytes_is_deterministic_and_distinct() {
+        let mut a = SetSketch1::new(config(), 1);
+        let mut b = SetSketch1::new(config(), 1);
+        Sketch::insert_bytes(&mut a, b"alpha");
+        Sketch::insert_bytes(&mut b, b"alpha");
+        assert_eq!(a, b);
+        Sketch::insert_bytes(&mut b, b"beta");
+        assert_ne!(a, b);
+    }
+}

@@ -35,9 +35,7 @@ pub struct JointEstimate {
 impl<S: ValueSequence> SetSketch<S> {
     /// Register comparison counts against a compatible sketch.
     pub fn joint_counts(&self, other: &Self) -> Result<JointCounts, IncompatibleSketches> {
-        if !self.is_compatible(other) {
-            return Err(IncompatibleSketches);
-        }
+        self.check_compatible(other)?;
         Ok(JointCounts::from_registers(
             self.registers(),
             other.registers(),

@@ -59,11 +59,16 @@
 //! * [`joint`] — joint estimation (Jaccard, intersection, differences,
 //!   cosine, inclusion coefficients);
 //! * [`locality`] — collision probabilities and the LSH estimators (15);
-//! * [`codec`] / [`state`] — packed binary representation and serde.
+//! * [`codec`] / [`state`] — packed binary representation and serde;
+//! * [`interop`] — implementations of the workspace-wide [`sketch_core`]
+//!   traits (`Sketch`, `BatchInsert`, `Mergeable`, estimators).
+
+#![warn(missing_docs)]
 
 pub mod cardinality;
 pub mod codec;
 pub mod config;
+pub mod interop;
 pub mod joint;
 pub mod locality;
 pub mod sequence;

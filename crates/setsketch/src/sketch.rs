@@ -26,12 +26,60 @@ pub type SetSketch2 = SetSketch<IntervalSampling>;
 
 /// Error raised when two sketches with incompatible configurations or
 /// hash seeds are combined.
+///
+/// Carries exactly which part mismatched, so that a failed merge deep in
+/// an aggregation pipeline (or a sketch store) reports something
+/// actionable instead of a bare "incompatible".
 #[derive(Debug, Clone, PartialEq)]
-pub struct IncompatibleSketches;
+pub struct IncompatibleSketches {
+    /// The two configurations, when they differ (`(left, right)`).
+    pub configs: Option<(SetSketchConfig, SetSketchConfig)>,
+    /// The two hash seeds, when they differ (`(left, right)`).
+    pub seeds: Option<(u64, u64)>,
+}
+
+impl IncompatibleSketches {
+    /// Checks two sketches' parameters, returning the detailed mismatch
+    /// as an error and `Ok(())` when they are compatible.
+    pub fn check(
+        left_config: &SetSketchConfig,
+        right_config: &SetSketchConfig,
+        left_seed: u64,
+        right_seed: u64,
+    ) -> Result<(), Self> {
+        let configs = (left_config != right_config).then_some((*left_config, *right_config));
+        let seeds = (left_seed != right_seed).then_some((left_seed, right_seed));
+        if configs.is_none() && seeds.is_none() {
+            Ok(())
+        } else {
+            Err(IncompatibleSketches { configs, seeds })
+        }
+    }
+}
 
 impl std::fmt::Display for IncompatibleSketches {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        write!(f, "sketches differ in configuration or hash seed")
+        // Guard the degenerate all-`None` state (constructible because the
+        // fields are public) against rendering a dangling message.
+        if self.configs.is_none() && self.seeds.is_none() {
+            return write!(f, "sketches are incompatible");
+        }
+        write!(f, "sketches are incompatible:")?;
+        if let Some((left, right)) = &self.configs {
+            write!(
+                f,
+                " configurations differ (left: m={}, b={}, a={}, q={}; right: m={}, b={}, a={}, q={})",
+                left.m(), left.b(), left.a(), left.q(),
+                right.m(), right.b(), right.a(), right.q(),
+            )?;
+            if self.seeds.is_some() {
+                write!(f, " and")?;
+            }
+        }
+        if let Some((left, right)) = self.seeds {
+            write!(f, " hash seeds differ (left: {left}, right: {right})")?;
+        }
+        Ok(())
     }
 }
 
@@ -193,12 +241,16 @@ impl<S: ValueSequence> SetSketch<S> {
         self.config == other.config && self.seed == other.seed
     }
 
+    /// Like [`is_compatible`](Self::is_compatible), but reports *which*
+    /// of configuration and seed mismatched on failure.
+    pub fn check_compatible(&self, other: &Self) -> Result<(), IncompatibleSketches> {
+        IncompatibleSketches::check(&self.config, &other.config, self.seed, other.seed)
+    }
+
     /// Merges `other` into `self` (union semantics): element-wise register
     /// maximum, which is idempotent, associative and commutative.
     pub fn merge(&mut self, other: &Self) -> Result<(), IncompatibleSketches> {
-        if !self.is_compatible(other) {
-            return Err(IncompatibleSketches);
-        }
+        self.check_compatible(other)?;
         for (a, &b) in self.registers.iter_mut().zip(&other.registers) {
             if b > *a {
                 *a = b;
@@ -325,9 +377,22 @@ mod tests {
     fn merge_rejects_incompatible() {
         let a = SetSketch1::new(config_small(), 1);
         let b = SetSketch1::new(config_small(), 2);
-        assert_eq!(a.merged(&b), Err(IncompatibleSketches));
-        let c = SetSketch1::new(SetSketchConfig::new(32, 2.0, 20.0, 62).unwrap(), 1);
-        assert!(a.merged(&c).is_err());
+        let err = a.merged(&b).unwrap_err();
+        assert_eq!(err.seeds, Some((1, 2)));
+        assert_eq!(err.configs, None);
+        assert!(err.to_string().contains("seeds differ (left: 1, right: 2)"));
+        let c_config = SetSketchConfig::new(32, 2.0, 20.0, 62).unwrap();
+        let c = SetSketch1::new(c_config, 1);
+        let err = a.merged(&c).unwrap_err();
+        assert_eq!(err.configs, Some((*a.config(), c_config)));
+        assert_eq!(err.seeds, None);
+        assert!(err.to_string().contains("configurations differ"));
+        // Both mismatched at once: both details are reported.
+        let d = SetSketch1::new(c_config, 9);
+        let err = a.merged(&d).unwrap_err();
+        assert!(err.configs.is_some() && err.seeds.is_some());
+        let message = err.to_string();
+        assert!(message.contains("configurations differ") && message.contains("seeds differ"));
     }
 
     #[test]

@@ -1,0 +1,43 @@
+//! Error type for store operations.
+
+/// Errors raised by [`SketchStore`](crate::SketchStore) queries.
+#[derive(Debug)]
+pub enum StoreError {
+    /// The named key holds no sketch.
+    KeyNotFound(String),
+    /// A multi-key operation was invoked with an empty key selection.
+    EmptySelection,
+    /// Two sketches in the store could not be combined. The boxed source
+    /// carries the sketch family's detailed error — e.g. SetSketch's
+    /// `IncompatibleSketches`, which reports *which* of configuration
+    /// and hash seed mismatched.
+    Incompatible(Box<dyn std::error::Error + Send + Sync>),
+}
+
+impl StoreError {
+    /// Wraps a sketch-level incompatibility error.
+    pub fn incompatible<E: std::error::Error + Send + Sync + 'static>(error: E) -> Self {
+        StoreError::Incompatible(Box::new(error))
+    }
+}
+
+impl std::fmt::Display for StoreError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            StoreError::KeyNotFound(key) => write!(f, "no sketch stored under key {key:?}"),
+            StoreError::EmptySelection => write!(f, "operation needs at least one key"),
+            StoreError::Incompatible(source) => {
+                write!(f, "stored sketches cannot be combined: {source}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for StoreError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            StoreError::Incompatible(source) => Some(source.as_ref()),
+            _ => None,
+        }
+    }
+}

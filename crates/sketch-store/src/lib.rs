@@ -1,0 +1,73 @@
+//! # sketch-store
+//!
+//! A concurrent, sharded registry of named sketches — the serving layer
+//! between the sketch crates and a production workload.
+//!
+//! A [`SketchStore`] holds millions of keyed sketches (one per user
+//! segment, page, shard, …) behind an `N`-way shard map of
+//! `parking_lot::RwLock`-guarded hash tables. It is generic over any
+//! sketch implementing the [`sketch_core`] traits, so the same store
+//! serves SetSketch, HyperLogLog/GHLL, the MinHash family, HyperMinHash
+//! or Theta sketches:
+//!
+//! * **batched ingest** — [`SketchStore::ingest`] records a whole batch
+//!   under one lock acquisition, hitting the sketch's specialized
+//!   [`BatchInsert`] path (SetSketch's sorted-batch `K_low` early
+//!   exit);
+//! * **cross-key queries** — [`SketchStore::joint`],
+//!   [`SketchStore::jaccard`],
+//!   [`SketchStore::intersection_cardinality`] and
+//!   [`SketchStore::union_cardinality`] answer set-relationship
+//!   questions between keys via the family's joint estimators;
+//! * **merge-down** — [`SketchStore::merge_keys`] /
+//!   [`SketchStore::merge_down`] fold selections (or everything) into
+//!   one union sketch;
+//! * **snapshots** — [`SketchStore::snapshot`] produces a plain-data
+//!   [`StoreSnapshot`] that serializes with serde (feature `serde`,
+//!   default-on) and restores with [`SketchStore::from_snapshot`].
+//!
+//! ## Concurrent ingest
+//!
+//! All operations take `&self`; scoped threads (or an [`Arc`]) share the
+//! store directly. Inserts are idempotent and commutative, so ingest
+//! order — and any interleaving across threads — cannot change the final
+//! state:
+//!
+//! ```
+//! use setsketch::{SetSketch2, SetSketchConfig};
+//! use sketch_store::SketchStore;
+//!
+//! let config = SetSketchConfig::example_16bit();
+//! let store = SketchStore::new(move || SetSketch2::new(config, 7));
+//!
+//! std::thread::scope(|scope| {
+//!     for worker in 0..4u64 {
+//!         let store = &store;
+//!         scope.spawn(move || {
+//!             let batch: Vec<u64> = (worker * 500..(worker + 1) * 500 + 250).collect();
+//!             store.ingest("events", &batch); // overlapping ranges: fine
+//!         });
+//!     }
+//! });
+//!
+//! let count = store.cardinality("events").unwrap();
+//! assert!((count - 2250.0).abs() / 2250.0 < 0.1);
+//! ```
+//!
+//! [`Arc`]: std::sync::Arc
+
+#![warn(missing_docs)]
+
+mod error;
+mod snapshot;
+mod store;
+
+pub use error::StoreError;
+pub use snapshot::StoreSnapshot;
+pub use store::{SketchStore, DEFAULT_SHARDS};
+
+// Downstream convenience: the traits a store-bound sketch implements and
+// the joint-estimation result type.
+pub use sketch_core::{
+    BatchInsert, CardinalityEstimator, JointEstimator, JointQuantities, Mergeable, Sketch,
+};

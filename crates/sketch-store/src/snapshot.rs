@@ -1,0 +1,93 @@
+//! Point-in-time store snapshots and their serialization.
+
+use std::collections::BTreeMap;
+
+/// A point-in-time copy of a [`SketchStore`](crate::SketchStore)'s
+/// contents: every key with a clone of its sketch, plus the shard count
+/// so the store can be rebuilt with the same layout.
+///
+/// Snapshots are the store's unit of persistence and shipping: they are
+/// plain data (no locks, no factory), order their entries
+/// deterministically, and — with the `serde` feature — round-trip
+/// through any serde format. Restore one with
+/// [`SketchStore::from_snapshot`](crate::SketchStore::from_snapshot).
+#[derive(Debug, Clone, PartialEq)]
+pub struct StoreSnapshot<S> {
+    /// Number of shards of the originating store.
+    pub shard_count: usize,
+    /// Key → sketch state, ordered by key.
+    pub entries: BTreeMap<String, S>,
+}
+
+impl<S> StoreSnapshot<S> {
+    /// Number of stored sketches.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True if the snapshot holds no sketches.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// The sketch snapshotted under `key`, if any.
+    pub fn get(&self, key: &str) -> Option<&S> {
+        self.entries.get(key)
+    }
+}
+
+#[cfg(feature = "serde")]
+mod serde_impls {
+    //! Hand-written serde wiring.
+    //!
+    //! The vendored serde_derive shim only handles non-generic structs,
+    //! so the generic snapshot pivots through the shim's [`Content`]
+    //! tree directly. The wire shape matches what the real derive would
+    //! produce for `{ shard_count, entries }`.
+
+    use super::StoreSnapshot;
+    use serde::{Content, Deserialize, Deserializer, Serialize, Serializer};
+
+    impl<S: Serialize> Serialize for StoreSnapshot<S> {
+        fn serialize<Z: Serializer>(&self, serializer: Z) -> Result<Z::Ok, Z::Error> {
+            let fields = vec![
+                (
+                    "shard_count".to_owned(),
+                    serde::__private::to_content(&self.shard_count),
+                ),
+                (
+                    "entries".to_owned(),
+                    serde::__private::to_content(&self.entries),
+                ),
+            ];
+            serializer.serialize_content(Content::Map(fields))
+        }
+    }
+
+    impl<'de, S: Deserialize<'de>> Deserialize<'de> for StoreSnapshot<S> {
+        fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+            let content = deserializer.deserialize_content()?;
+            let mut fields = match content {
+                Content::Map(map) => map,
+                other => return Err(serde::__private::expected_map::<D::Error>(&other)),
+            };
+            let shard_count = serde::__private::from_content::<usize, D::Error>(
+                serde::__private::take_field(&mut fields, "shard_count")
+                    .ok_or_else(|| serde::__private::missing_field::<D::Error>("shard_count"))?,
+            )?;
+            if shard_count == 0 {
+                return Err(<D::Error as serde::de::Error>::custom(
+                    "snapshot shard_count must be at least 1",
+                ));
+            }
+            let entries = serde::__private::from_content::<_, D::Error>(
+                serde::__private::take_field(&mut fields, "entries")
+                    .ok_or_else(|| serde::__private::missing_field::<D::Error>("entries"))?,
+            )?;
+            Ok(StoreSnapshot {
+                shard_count,
+                entries,
+            })
+        }
+    }
+}

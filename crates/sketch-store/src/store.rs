@@ -1,0 +1,346 @@
+//! The sharded concurrent sketch registry.
+
+use crate::error::StoreError;
+use crate::snapshot::StoreSnapshot;
+use parking_lot::RwLock;
+use sketch_core::{
+    BatchInsert, CardinalityEstimator, JointEstimator, JointQuantities, Mergeable, Sketch,
+};
+use sketch_rand::hash_bytes;
+use std::collections::HashMap;
+
+/// Seed of the key-routing hash (independent of any sketch's seed).
+const ROUTING_SEED: u64 = 0x5354_4f52_4b45_5953; // "STORKEYS"
+
+/// Default shard count of [`SketchStore::new`].
+pub const DEFAULT_SHARDS: usize = 16;
+
+/// A concurrent registry mapping string keys to sketches of one type.
+///
+/// The key space is split across `N` shards, each guarded by its own
+/// `parking_lot::RwLock` over a hash map, so writers to different keys
+/// rarely contend and readers never block each other. All operations
+/// take `&self`; share the store across threads with
+/// [`Arc`](std::sync::Arc) or scoped threads.
+///
+/// Sketches are created on first ingest by the store's *factory*
+/// closure, which fixes the configuration and hash seed — everything the
+/// store creates is therefore mutually compatible, and cross-key queries
+/// ([`joint`](Self::joint), [`merge_keys`](Self::merge_keys)) work by
+/// construction. Externally built sketches can still be injected with
+/// [`put`](Self::put) (e.g. states shipped from another process); if
+/// their parameters differ, combining queries surface the sketch
+/// family's detailed incompatibility error through
+/// [`StoreError::Incompatible`].
+///
+/// ```
+/// use setsketch::{SetSketch2, SetSketchConfig};
+/// use sketch_store::SketchStore;
+///
+/// let config = SetSketchConfig::example_16bit();
+/// let store = SketchStore::new(move || SetSketch2::new(config, 42));
+///
+/// store.ingest("paris", &(0..10_000).collect::<Vec<u64>>());
+/// store.ingest("london", &(5_000..15_000).collect::<Vec<u64>>());
+///
+/// let paris = store.cardinality("paris").unwrap();
+/// assert!((paris - 10_000.0).abs() / 10_000.0 < 0.1);
+///
+/// // True Jaccard: 5000 / 15000 = 1/3.
+/// let joint = store.joint("paris", "london").unwrap();
+/// assert!((joint.jaccard - 1.0 / 3.0).abs() < 0.05);
+///
+/// let global = store.union_cardinality(&["paris", "london"]).unwrap();
+/// assert!((global - 15_000.0).abs() / 15_000.0 < 0.1);
+/// ```
+pub struct SketchStore<S> {
+    shards: Box<[RwLock<HashMap<String, S>>]>,
+    factory: Box<dyn Fn() -> S + Send + Sync>,
+}
+
+impl<S> SketchStore<S> {
+    /// Creates a store with [`DEFAULT_SHARDS`] shards; `factory` builds
+    /// the empty sketch for every new key (fixing configuration and
+    /// seed).
+    pub fn new(factory: impl Fn() -> S + Send + Sync + 'static) -> Self {
+        Self::with_shards(DEFAULT_SHARDS, factory)
+    }
+
+    /// Creates a store with an explicit shard count (≥ 1). More shards
+    /// reduce write contention; the key→shard mapping is stable for a
+    /// given count.
+    ///
+    /// # Panics
+    /// Panics if `shards == 0`.
+    pub fn with_shards(shards: usize, factory: impl Fn() -> S + Send + Sync + 'static) -> Self {
+        assert!(shards > 0, "store needs at least one shard");
+        let shards = (0..shards)
+            .map(|_| RwLock::new(HashMap::new()))
+            .collect::<Vec<_>>()
+            .into_boxed_slice();
+        Self {
+            shards,
+            factory: Box::new(factory),
+        }
+    }
+
+    /// Number of shards.
+    #[inline]
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// Shard index a key routes to (multiply-shift over the routing
+    /// hash; uniform for any shard count).
+    #[inline]
+    fn shard_index(&self, key: &str) -> usize {
+        let hash = hash_bytes(key.as_bytes(), ROUTING_SEED);
+        (((hash as u128) * (self.shards.len() as u128)) >> 64) as usize
+    }
+
+    #[inline]
+    fn shard(&self, key: &str) -> &RwLock<HashMap<String, S>> {
+        &self.shards[self.shard_index(key)]
+    }
+
+    /// Number of stored sketches (locks each shard briefly; the count is
+    /// approximate while writers are active).
+    pub fn len(&self) -> usize {
+        self.shards.iter().map(|s| s.read().len()).sum()
+    }
+
+    /// True if no key holds a sketch.
+    pub fn is_empty(&self) -> bool {
+        self.shards.iter().all(|s| s.read().is_empty())
+    }
+
+    /// True if `key` holds a sketch.
+    pub fn contains_key(&self, key: &str) -> bool {
+        self.shard(key).read().contains_key(key)
+    }
+
+    /// All keys, sorted (point-in-time per shard).
+    pub fn keys(&self) -> Vec<String> {
+        let mut keys: Vec<String> = self
+            .shards
+            .iter()
+            .flat_map(|s| s.read().keys().cloned().collect::<Vec<_>>())
+            .collect();
+        keys.sort_unstable();
+        keys
+    }
+
+    /// Runs a closure against the sketch under `key` without cloning it
+    /// (the shard stays read-locked for the duration).
+    pub fn with_sketch<R>(&self, key: &str, op: impl FnOnce(&S) -> R) -> Option<R> {
+        self.shard(key).read().get(key).map(op)
+    }
+
+    /// Stores `sketch` under `key`, replacing and returning any previous
+    /// sketch. This bypasses the factory — use it to inject states built
+    /// elsewhere (e.g. shipped from worker processes).
+    pub fn put(&self, key: &str, sketch: S) -> Option<S> {
+        self.shard(key).write().insert(key.to_owned(), sketch)
+    }
+
+    /// Removes and returns the sketch under `key`.
+    pub fn remove(&self, key: &str) -> Option<S> {
+        self.shard(key).write().remove(key)
+    }
+
+    /// Removes every sketch.
+    pub fn clear(&self) {
+        for shard in self.shards.iter() {
+            shard.write().clear();
+        }
+    }
+
+    /// Acquires the shard(s) of two keys deadlock-free (ascending shard
+    /// order) and runs `op` on the two sketches.
+    fn with_pair<R>(
+        &self,
+        key_a: &str,
+        key_b: &str,
+        op: impl FnOnce(&S, &S) -> R,
+    ) -> Result<R, StoreError> {
+        let not_found = |key: &str| StoreError::KeyNotFound(key.to_owned());
+        let (ia, ib) = (self.shard_index(key_a), self.shard_index(key_b));
+        if ia == ib {
+            let shard = self.shards[ia].read();
+            let a = shard.get(key_a).ok_or_else(|| not_found(key_a))?;
+            let b = shard.get(key_b).ok_or_else(|| not_found(key_b))?;
+            Ok(op(a, b))
+        } else {
+            // Lock in ascending shard order; this is the only place two
+            // shard locks are held at once, so the order is globally
+            // consistent and cannot deadlock.
+            let (lo, hi) = (ia.min(ib), ia.max(ib));
+            let shard_lo = self.shards[lo].read();
+            let shard_hi = self.shards[hi].read();
+            let (shard_a, shard_b) = if ia < ib {
+                (&shard_lo, &shard_hi)
+            } else {
+                (&shard_hi, &shard_lo)
+            };
+            let a = shard_a.get(key_a).ok_or_else(|| not_found(key_a))?;
+            let b = shard_b.get(key_b).ok_or_else(|| not_found(key_b))?;
+            Ok(op(a, b))
+        }
+    }
+}
+
+impl<S> SketchStore<S> {
+    /// Write-locks the key's shard and runs `op` on its sketch, creating
+    /// it through the factory on first use. The existing-key fast path
+    /// avoids allocating an owned key string.
+    fn with_entry(&self, key: &str, op: impl FnOnce(&mut S)) {
+        let mut shard = self.shard(key).write();
+        if !shard.contains_key(key) {
+            shard.insert(key.to_owned(), (self.factory)());
+        }
+        op(shard.get_mut(key).expect("present or just inserted"));
+    }
+}
+
+impl<S: Sketch> SketchStore<S> {
+    /// Records one element under `key`, creating the sketch on first
+    /// use.
+    pub fn insert(&self, key: &str, element: u64) {
+        self.with_entry(key, |sketch| sketch.insert_u64(element));
+    }
+
+    /// Records a byte-string element under `key`.
+    pub fn insert_bytes(&self, key: &str, element: &[u8]) {
+        self.with_entry(key, |sketch| sketch.insert_bytes(element));
+    }
+}
+
+impl<S: BatchInsert> SketchStore<S> {
+    /// Records a batch of elements under `key`, creating the sketch on
+    /// first use. One lock acquisition per batch; sketches with a
+    /// specialized [`BatchInsert`] (SetSketch's sorted-batch `K_low`
+    /// early exit) get their fast path.
+    pub fn ingest(&self, key: &str, elements: &[u64]) {
+        self.with_entry(key, |sketch| sketch.insert_batch(elements));
+    }
+}
+
+impl<S: Clone> SketchStore<S> {
+    /// Clones the sketch under `key` out of the store.
+    pub fn get(&self, key: &str) -> Option<S> {
+        self.shard(key).read().get(key).cloned()
+    }
+
+    /// Takes a point-in-time snapshot of the whole store: each shard is
+    /// copied under its read lock, so every *key* is internally
+    /// consistent (writers may interleave between shards).
+    pub fn snapshot(&self) -> StoreSnapshot<S> {
+        let mut entries = std::collections::BTreeMap::new();
+        for shard in self.shards.iter() {
+            for (key, sketch) in shard.read().iter() {
+                entries.insert(key.clone(), sketch.clone());
+            }
+        }
+        StoreSnapshot {
+            shard_count: self.shards.len(),
+            entries,
+        }
+    }
+
+    /// Rebuilds a store from a snapshot. The factory serves keys created
+    /// *after* the restore; snapshotted sketches are installed verbatim.
+    pub fn from_snapshot(
+        snapshot: StoreSnapshot<S>,
+        factory: impl Fn() -> S + Send + Sync + 'static,
+    ) -> Self {
+        let store = Self::with_shards(snapshot.shard_count, factory);
+        for (key, sketch) in snapshot.entries {
+            store.shard(&key).write().insert(key, sketch);
+        }
+        store
+    }
+}
+
+impl<S: CardinalityEstimator> SketchStore<S> {
+    /// Estimated distinct count recorded under `key`.
+    pub fn cardinality(&self, key: &str) -> Result<f64, StoreError> {
+        self.with_sketch(key, |sketch| sketch.cardinality())
+            .ok_or_else(|| StoreError::KeyNotFound(key.to_owned()))
+    }
+}
+
+impl<S: Mergeable + Clone> SketchStore<S> {
+    /// Union sketch of the listed keys (each shard locked one at a time;
+    /// per-key point-in-time).
+    ///
+    /// Fails with [`StoreError::EmptySelection`] for an empty list,
+    /// [`StoreError::KeyNotFound`] for a missing key, and
+    /// [`StoreError::Incompatible`] — carrying the sketch family's
+    /// detailed error — when states injected via [`put`](Self::put) do
+    /// not match.
+    pub fn merge_keys(&self, keys: &[&str]) -> Result<S, StoreError> {
+        let (&first, rest) = keys.split_first().ok_or(StoreError::EmptySelection)?;
+        let mut merged = self
+            .get(first)
+            .ok_or_else(|| StoreError::KeyNotFound(first.to_owned()))?;
+        for &key in rest {
+            let shard = self.shard(key).read();
+            let sketch = shard
+                .get(key)
+                .ok_or_else(|| StoreError::KeyNotFound(key.to_owned()))?;
+            merged
+                .merge_from(sketch)
+                .map_err(StoreError::incompatible)?;
+        }
+        Ok(merged)
+    }
+
+    /// Merges every sketch in the store down to a single union sketch
+    /// (`None` when the store is empty).
+    pub fn merge_down(&self) -> Result<Option<S>, StoreError> {
+        let mut merged: Option<S> = None;
+        for shard in self.shards.iter() {
+            for sketch in shard.read().values() {
+                match &mut merged {
+                    None => merged = Some(sketch.clone()),
+                    Some(acc) => acc.merge_from(sketch).map_err(StoreError::incompatible)?,
+                }
+            }
+        }
+        Ok(merged)
+    }
+}
+
+impl<S: Mergeable + CardinalityEstimator + Clone> SketchStore<S> {
+    /// Estimated cardinality of the union of the listed keys.
+    pub fn union_cardinality(&self, keys: &[&str]) -> Result<f64, StoreError> {
+        Ok(self.merge_keys(keys)?.cardinality())
+    }
+}
+
+impl<S: JointEstimator> SketchStore<S> {
+    /// Joint estimation (Jaccard, intersection, union, differences, …)
+    /// between the sketches under two keys, without cloning either.
+    pub fn joint(&self, key_a: &str, key_b: &str) -> Result<JointQuantities, StoreError> {
+        self.with_pair(key_a, key_b, |a, b| a.joint(b))?
+            .map_err(StoreError::incompatible)
+    }
+
+    /// Estimated Jaccard similarity between two keys.
+    pub fn jaccard(&self, key_a: &str, key_b: &str) -> Result<f64, StoreError> {
+        Ok(self.joint(key_a, key_b)?.jaccard)
+    }
+
+    /// Estimated intersection cardinality between two keys.
+    pub fn intersection_cardinality(&self, key_a: &str, key_b: &str) -> Result<f64, StoreError> {
+        Ok(self.joint(key_a, key_b)?.intersection)
+    }
+}
+
+impl<S> std::fmt::Debug for SketchStore<S> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SketchStore")
+            .field("shards", &self.shards.len())
+            .finish_non_exhaustive()
+    }
+}

@@ -203,6 +203,79 @@ impl ThetaSketch {
     }
 }
 
+// ---------------------------------------------------------------------------
+// sketch-core trait implementations.
+// ---------------------------------------------------------------------------
+
+impl sketch_core::Sketch for ThetaSketch {
+    fn insert_u64(&mut self, element: u64) {
+        ThetaSketch::insert_u64(self, element);
+    }
+
+    fn insert_bytes(&mut self, bytes: &[u8]) {
+        self.insert_raw(sketch_rand::hash_bytes(bytes, self.seed));
+    }
+}
+
+impl sketch_core::BatchInsert for ThetaSketch {}
+
+impl sketch_core::Mergeable for ThetaSketch {
+    type MergeError = IncompatibleTheta;
+
+    fn is_compatible(&self, other: &Self) -> bool {
+        ThetaSketch::is_compatible(self, other)
+    }
+
+    /// Union merge via the sketch-level binary union (the merged sketch
+    /// keeps the tighter θ of the two operands).
+    fn merge_from(&mut self, other: &Self) -> Result<(), IncompatibleTheta> {
+        *self = self.union(other)?;
+        Ok(())
+    }
+}
+
+impl sketch_core::CardinalityEstimator for ThetaSketch {
+    fn cardinality(&self) -> f64 {
+        self.estimate()
+    }
+}
+
+impl sketch_core::JointEstimator for ThetaSketch {
+    type JointError = IncompatibleTheta;
+
+    /// Joint quantities via the sketch-level union/intersection algebra.
+    fn joint(&self, other: &Self) -> Result<sketch_core::JointQuantities, IncompatibleTheta> {
+        let jaccard = self.jaccard(other)?;
+        Ok(sketch_core::JointQuantities::new(
+            self.estimate(),
+            other.estimate(),
+            jaccard,
+        ))
+    }
+}
+
+#[cfg(test)]
+mod interop_tests {
+    use super::*;
+    use sketch_core::{BatchInsert, CardinalityEstimator, JointEstimator, Mergeable};
+
+    #[test]
+    fn trait_surface_matches_inherent() {
+        let mut a = ThetaSketch::new(1024, 7);
+        let mut b = ThetaSketch::new(1024, 7);
+        a.insert_batch(&(0..30_000).collect::<Vec<_>>());
+        b.insert_batch(&(20_000..50_000).collect::<Vec<_>>());
+        assert_eq!(a.cardinality(), a.estimate());
+        let merged = Mergeable::merged_with(&a, &b).unwrap();
+        assert_eq!(merged, a.union(&b).unwrap());
+        let joint = JointEstimator::joint(&a, &b).unwrap();
+        assert_eq!(joint.jaccard, a.jaccard(&b).unwrap());
+        // Intersection from the joint quantities tracks the true overlap.
+        let rel = (joint.intersection - 10_000.0) / 10_000.0;
+        assert!(rel.abs() < 0.25, "relative error {rel}");
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -1,0 +1,98 @@
+//! A miniature sketch-serving service on top of [`sketch_store`].
+//!
+//! The shape mirrors `streaming_shards`, one layer up: instead of one
+//! sketch per worker, a fleet of ingest workers feeds *named* sketches
+//! (one per tenant) in a shared concurrent store, while the query side
+//! answers cardinality, similarity and union questions and ships a
+//! point-in-time snapshot of the whole store as JSON.
+//!
+//! Run with `cargo run --release --example store_service`.
+
+use setsketch::{SetSketch2, SetSketchConfig};
+use sketch_rand::mix64;
+use sketch_store::SketchStore;
+
+const TENANTS: [&str; 4] = ["search", "ads", "mail", "maps"];
+const WORKERS: u64 = 8;
+const BATCHES_PER_WORKER: u64 = 40;
+const BATCH: u64 = 2_000;
+
+fn main() {
+    let config = SetSketchConfig::example_16bit();
+    let store = SketchStore::with_shards(8, move || SetSketch2::new(config, 42));
+
+    // --- Ingest: 8 workers, all writing every tenant concurrently. ----
+    // Tenants overlap: "ads" sees a subset of "search" users, etc.
+    std::thread::scope(|scope| {
+        for worker in 0..WORKERS {
+            let store = &store;
+            scope.spawn(move || {
+                for batch in 0..BATCHES_PER_WORKER {
+                    let offset = (worker * BATCHES_PER_WORKER + batch) * BATCH;
+                    for (t, tenant) in TENANTS.iter().enumerate() {
+                        // Tenant t records users whose id is divisible by
+                        // (t + 1): nested subsets with known overlaps.
+                        let events: Vec<u64> = (offset..offset + BATCH)
+                            .map(|i| mix64(i) % 1_000_000)
+                            .filter(|user| user % (t as u64 + 1) == 0)
+                            .collect();
+                        store.ingest(tenant, &events);
+                    }
+                }
+            });
+        }
+    });
+
+    println!(
+        "ingested {} tenants on {} shards",
+        store.len(),
+        store.shard_count()
+    );
+    println!();
+
+    // --- Queries. -----------------------------------------------------
+    println!("{:<8} {:>12}", "tenant", "distinct");
+    for tenant in TENANTS {
+        let estimate = store.cardinality(tenant).expect("tenant exists");
+        println!("{tenant:<8} {estimate:>12.0}");
+    }
+    println!();
+
+    // Pairwise similarity: "search" holds every user, tenant t holds the
+    // multiples of t+1, so J(search, tenant_t) = 1 / (t + 1).
+    for (t, tenant) in TENANTS.iter().enumerate().skip(1) {
+        let joint = store
+            .joint("search", tenant)
+            .expect("compatible by construction");
+        println!(
+            "J(search, {tenant}) = {:.3}   (expected {:.3}, intersection ≈ {:.0})",
+            joint.jaccard,
+            1.0 / (t as f64 + 1.0),
+            joint.intersection,
+        );
+    }
+    println!();
+
+    // Union across all tenants == "search" (everything else is a subset).
+    let union = store
+        .union_cardinality(&TENANTS)
+        .expect("tenants are mergeable");
+    let search = store.cardinality("search").expect("tenant exists");
+    println!("union of all tenants: {union:.0} (search alone: {search:.0})");
+
+    // --- Snapshot shipping. -------------------------------------------
+    let snapshot = store.snapshot();
+    let json = serde_json::to_string(&snapshot).expect("snapshot serializes");
+    println!(
+        "snapshot: {} sketches, {} bytes of JSON",
+        snapshot.len(),
+        json.len()
+    );
+    let restored: sketch_store::StoreSnapshot<SetSketch2> =
+        serde_json::from_str(&json).expect("snapshot deserializes");
+    let store2 = SketchStore::from_snapshot(restored, move || SetSketch2::new(config, 42));
+    let j = store2
+        .jaccard("search", "ads")
+        .expect("restored store answers");
+    println!("restored store answers J(search, ads) = {j:.3}");
+}

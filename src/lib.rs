@@ -5,10 +5,17 @@
 //! users should depend on the individual crates directly:
 //!
 //! * [`setsketch`] — the paper's contribution;
-//! * [`minhash`], [`hyperloglog`], [`hyperminhash`] — the baselines;
+//! * [`minhash`], [`hyperloglog`], [`hyperminhash`], [`thetasketch`] —
+//!   the baselines;
+//! * [`sketch_core`] — the unifying trait layer over all sketch families;
+//! * [`sketch_store`] — the concurrent sharded registry of named sketches;
 //! * [`lsh`] — similarity search on sketch signatures;
 //! * [`sketch_rand`], [`sketch_math`] — the substrates;
 //! * [`simulation`] — the figure-regeneration harness.
+//!
+//! The README below is included verbatim so its quick-start snippet is
+//! compiled and run as a doctest.
+#![doc = include_str!("../README.md")]
 
 pub use hyperloglog;
 pub use hyperminhash;
@@ -16,6 +23,8 @@ pub use lsh;
 pub use minhash;
 pub use setsketch;
 pub use simulation;
+pub use sketch_core;
 pub use sketch_math;
 pub use sketch_rand;
+pub use sketch_store;
 pub use thetasketch;
