@@ -16,7 +16,7 @@
 
 #[cfg(feature = "serde")]
 use serde::{Deserialize, Serialize};
-use sketch_math::{brent, sigma_b, tau_b, PowerTable};
+use sketch_math::{brent, kernels, sigma_b, tau_b, PowerTable};
 use sketch_rand::{hash_of, hash_u64, mix64};
 use std::sync::Arc;
 
@@ -215,7 +215,7 @@ impl GhllSketch {
 
     #[cold]
     fn rescan_lower_bound(&mut self) {
-        self.k_low = self.registers.iter().copied().min().unwrap_or(0);
+        self.k_low = kernels::min_scan(&self.registers);
         self.modifications = 0;
     }
 
@@ -230,18 +230,18 @@ impl GhllSketch {
         self.config == other.config && self.seed == other.seed
     }
 
-    /// Merges `other` into `self` (element-wise maximum).
+    /// Merges `other` into `self` (element-wise maximum through the
+    /// fused [`kernels::max_merge_min`] register kernel; the merged
+    /// lower bound falls out of the same pass).
     pub fn merge(&mut self, other: &Self) -> Result<(), IncompatibleGhll> {
         if !self.is_compatible(other) {
             return Err(IncompatibleGhll);
         }
-        for (a, &b) in self.registers.iter_mut().zip(&other.registers) {
-            if b > *a {
-                *a = b;
-            }
-        }
         if self.lower_bound_tracking {
-            self.rescan_lower_bound();
+            self.k_low = kernels::max_merge_min(&mut self.registers, &other.registers);
+            self.modifications = 0;
+        } else {
+            kernels::max_merge(&mut self.registers, &other.registers);
         }
         Ok(())
     }
@@ -253,9 +253,31 @@ impl GhllSketch {
         Ok(out)
     }
 
-    /// Boundary histogram counts and interior estimator sum in one pass.
+    /// Boundary histogram counts and interior estimator sum.
+    ///
+    /// Small bucket ranges (`q + 2 ≤ 128`, covering classic HLL's
+    /// q = 62) are counted into a stack buffer — allocation-free, one
+    /// power-table lookup per *occupied bucket* instead of per
+    /// register. Larger-but-dense ranges go through the heap-backed
+    /// [`kernels::histogram_counts`] pass; sparse configurations
+    /// (q ≫ m, e.g. 16-bit registers on a small sketch) keep the direct
+    /// per-register scan.
     fn histogram_sum(&self) -> (usize, f64, usize) {
-        let limit = self.config.q() + 1;
+        /// Bucket capacity of the stack-allocated counting path.
+        const STACK_BUCKETS: usize = 128;
+        let limit = self.config.q() as usize + 1;
+        if limit < STACK_BUCKETS {
+            let mut counts = [0u32; STACK_BUCKETS];
+            let counts = &mut counts[..limit + 1];
+            kernels::scalar::histogram_counts(&self.registers, counts);
+            return kernels::fold_histogram(counts, &self.table);
+        }
+        if limit <= self.registers.len() {
+            let mut counts = vec![0u32; limit + 1];
+            kernels::histogram_counts(&self.registers, &mut counts);
+            return kernels::fold_histogram(&counts, &self.table);
+        }
+        let limit = limit as u32;
         let mut c0 = 0usize;
         let mut c_limit = 0usize;
         let mut sum = 0.0f64;

@@ -46,15 +46,13 @@ impl From<IncompatibleGhll> for GhllJointError {
 }
 
 impl GhllSketch {
-    /// Register comparison counts against a compatible sketch.
+    /// Register comparison counts against a compatible sketch (one pass
+    /// of the vectorized three-way comparison kernel).
     pub fn joint_counts(&self, other: &Self) -> Result<JointCounts, IncompatibleGhll> {
         if !self.is_compatible(other) {
             return Err(IncompatibleGhll);
         }
-        Ok(JointCounts::from_registers(
-            self.registers(),
-            other.registers(),
-        ))
+        Ok(JointCounts::from_u32(self.registers(), other.registers()))
     }
 
     /// Checks the §4.2 applicability condition: no register may be 0 or

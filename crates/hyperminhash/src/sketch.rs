@@ -198,16 +198,13 @@ impl HyperMinHash {
     }
 
     /// Merges `other` into `self` (element-wise maximum of the combined
-    /// values, equivalent to HyperMinHash's minwise merge).
+    /// values through the vectorized merge kernel, equivalent to
+    /// HyperMinHash's minwise merge).
     pub fn merge(&mut self, other: &Self) -> Result<(), IncompatibleHyperMinHash> {
         if !self.is_compatible(other) {
             return Err(IncompatibleHyperMinHash);
         }
-        for (a, &b) in self.registers.iter_mut().zip(&other.registers) {
-            if b > *a {
-                *a = b;
-            }
-        }
+        sketch_math::kernels::max_merge(&mut self.registers, &other.registers);
         Ok(())
     }
 
@@ -257,15 +254,15 @@ impl HyperMinHash {
         m * m * (1.0 - 1.0 / b) / (b.ln() * denom)
     }
 
-    /// Register comparison counts against a compatible sketch.
+    /// Register comparison counts against a compatible sketch (one pass
+    /// of the vectorized three-way comparison kernel; HyperMinHash's
+    /// packed exponent-plus-fingerprint registers compare with the same
+    /// order as the underlying hash values).
     pub fn joint_counts(&self, other: &Self) -> Result<JointCounts, IncompatibleHyperMinHash> {
         if !self.is_compatible(other) {
             return Err(IncompatibleHyperMinHash);
         }
-        Ok(JointCounts::from_registers(
-            self.registers(),
-            other.registers(),
-        ))
+        Ok(JointCounts::from_u32(self.registers(), other.registers()))
     }
 
     /// The SetSketch paper's order-based joint estimator (§4.3) with the

@@ -21,9 +21,20 @@ impl<S: ValueSequence> SetSketch<S> {
     /// Fast and accurate while register values are strictly inside
     /// `(0, q+1)`; use [`estimate_cardinality`](Self::estimate_cardinality)
     /// when small or huge sets may clip the register range.
+    ///
+    /// Reads the maintained register histogram where one is kept
+    /// (O(q) instead of O(m)); sparse scales scan the registers.
     pub fn estimate_cardinality_simple(&self) -> f64 {
         let table = self.power_table();
-        let sum: f64 = self.registers().iter().map(|&k| table.pow_neg(k)).sum();
+        let sum: f64 = match self.register_histogram() {
+            Some(histogram) => histogram
+                .iter()
+                .enumerate()
+                .filter(|&(_, &count)| count > 0)
+                .map(|(k, &count)| count as f64 * table.pow_neg(k as u32))
+                .sum(),
+            None => self.registers().iter().map(|&k| table.pow_neg(k)).sum(),
+        };
         let cfg = self.config();
         cfg.m() as f64 * (1.0 - 1.0 / cfg.b()) / (cfg.a() * cfg.b().ln() * sum)
     }
@@ -49,6 +60,13 @@ impl<S: ValueSequence> SetSketch<S> {
     /// Maximum-likelihood cardinality estimate under distribution (4) with
     /// range clipping (19)/(20) of Appendix B, solved by Brent's method
     /// over log-cardinality.
+    ///
+    /// The likelihood is evaluated over the *occupied value buckets*:
+    /// registers sharing a value contribute one transcendental
+    /// evaluation weighted by their count, so each Brent iteration costs
+    /// O(min(m, q)) instead of O(m) exp/ln calls. The buckets come from
+    /// the maintained histogram where one is kept, or from run-length
+    /// encoding the sorted registers on sparse scales.
     pub fn estimate_cardinality_ml(&self) -> f64 {
         let start = self.estimate_cardinality();
         if start <= 0.0 {
@@ -59,22 +77,41 @@ impl<S: ValueSequence> SetSketch<S> {
         let b = cfg.b();
         let q_limit = cfg.q() + 1;
         let table = self.power_table().clone();
-        let registers = self.registers().to_vec();
+        let occupied: Vec<(u32, f64)> = match self.register_histogram() {
+            Some(histogram) => histogram
+                .iter()
+                .enumerate()
+                .filter(|&(_, &count)| count > 0)
+                .map(|(k, &count)| (k as u32, count as f64))
+                .collect(),
+            None => {
+                let mut registers = self.registers().to_vec();
+                registers.sort_unstable();
+                let mut runs: Vec<(u32, f64)> = Vec::new();
+                for &k in &registers {
+                    match runs.last_mut() {
+                        Some((value, count)) if *value == k => *count += 1.0,
+                        _ => runs.push((k, 1.0)),
+                    }
+                }
+                runs
+            }
+        };
         let log_likelihood = |ln_n: f64| {
             let n = ln_n.exp();
             let mut ll = 0.0f64;
-            for &k in &registers {
+            for &(k, count) in &occupied {
                 if k == 0 {
                     // P(K <= 0) = e^{-n a}
-                    ll += -n * a;
+                    ll += count * (-n * a);
                 } else if k == q_limit {
                     // P(K >= q+1) = 1 - e^{-n a b^{-q}}
                     let rate = n * a * table.pow_neg(q_limit - 1);
-                    ll += (-(-rate).exp_m1()).ln();
+                    ll += count * (-(-rate).exp_m1()).ln();
                 } else {
                     // P(K = k) = e^{-A}(1 - e^{-A(b-1)}), A = n a b^{-k}
                     let rate = n * a * table.pow_neg(k);
-                    ll += -rate + (-(-rate * (b - 1.0)).exp_m1()).ln();
+                    ll += count * (-rate + (-(-rate * (b - 1.0)).exp_m1()).ln());
                 }
             }
             ll

@@ -10,7 +10,7 @@ use crate::sketch::{IncompatibleSketches, SetSketch};
 use sketch_core::{
     BatchInsert, CardinalityEstimator, JointEstimator, JointQuantities, Mergeable, Sketch,
 };
-use sketch_rand::{hash_bytes, hash_u64};
+use sketch_rand::hash_bytes;
 
 impl<S: ValueSequence> Sketch for SetSketch<S> {
     fn insert_u64(&mut self, element: u64) {
@@ -24,20 +24,14 @@ impl<S: ValueSequence> Sketch for SetSketch<S> {
 }
 
 impl<S: ValueSequence> BatchInsert for SetSketch<S> {
-    /// Batched Algorithm 1: the whole batch is hashed up front, sorted
-    /// and deduplicated, so repeated elements never touch the register
-    /// scan at all. Each surviving element still goes through the
-    /// `K_low` lower-bound early exit (paper §2.2), which tightens as
-    /// earlier batch elements raise the registers — for batches much
-    /// larger than m most elements terminate after a single comparison.
+    /// Batched Algorithm 1 (the inherent
+    /// [`SetSketch::insert_batch`] sorted-dedup fast path): repeated
+    /// elements never touch the register scan, and the `K_low`
+    /// lower-bound early exit (paper §2.2) tightens as the batch
+    /// proceeds — for batches much larger than m most elements
+    /// terminate after a single comparison.
     fn insert_batch(&mut self, elements: &[u64]) {
-        let seed = self.seed();
-        let mut hashes: Vec<u64> = elements.iter().map(|&e| hash_u64(e, seed)).collect();
-        hashes.sort_unstable();
-        hashes.dedup();
-        for hash in hashes {
-            self.insert_hash(hash);
-        }
+        SetSketch::insert_batch(self, elements);
     }
 }
 
@@ -50,6 +44,17 @@ impl<S: ValueSequence> Mergeable for SetSketch<S> {
 
     fn merge_from(&mut self, other: &Self) -> Result<(), IncompatibleSketches> {
         self.merge(other)
+    }
+
+    /// Batched union over the register kernels: every operand runs the
+    /// fused max-merge pass, the estimator histogram is rebuilt once at
+    /// the end ([`SetSketch::merge_all`]).
+    fn merge_many<'a, I>(&mut self, others: I) -> Result<(), IncompatibleSketches>
+    where
+        I: IntoIterator<Item = &'a Self>,
+        Self: 'a,
+    {
+        self.merge_all(others)
     }
 }
 
@@ -82,7 +87,8 @@ mod tests {
         let elements: Vec<u64> = (0..5_000).map(|i| i % 3_000).collect();
         let mut batched = SetSketch1::new(config(), 3);
         let mut looped = SetSketch1::new(config(), 3);
-        batched.insert_batch(&elements);
+        // Through the trait, which must route to the inherent fast path.
+        BatchInsert::insert_batch(&mut batched, &elements);
         for &e in &elements {
             looped.insert_u64(e);
         }
@@ -122,6 +128,49 @@ mod tests {
         assert_eq!(joint, a.estimate_joint(&b).unwrap().quantities);
         let merged = Mergeable::merged_with(&a, &b).unwrap();
         assert_eq!(merged, a.merged(&b).unwrap());
+    }
+
+    #[test]
+    fn merge_many_equals_sequential_merges() {
+        let partials: Vec<SetSketch1> = (0..5u64)
+            .map(|i| {
+                let mut s = SetSketch1::new(config(), 9);
+                s.extend(i * 800..(i + 1) * 800 + 300);
+                s
+            })
+            .collect();
+        let mut batched = partials[0].clone();
+        batched.merge_many(&partials[1..]).unwrap();
+        let mut sequential = partials[0].clone();
+        for p in &partials[1..] {
+            sequential.merge_from(p).unwrap();
+        }
+        assert_eq!(batched, sequential);
+        assert_eq!(batched.k_low(), sequential.k_low());
+        assert_eq!(
+            batched.register_histogram(),
+            sequential.register_histogram()
+        );
+    }
+
+    #[test]
+    fn merge_many_error_leaves_consistent_state() {
+        let mut target = SetSketch1::new(config(), 9);
+        target.extend(0..500);
+        let mut good = SetSketch1::new(config(), 9);
+        good.extend(500..1000);
+        let mut bad = SetSketch1::new(config(), 10); // wrong seed
+        bad.extend(0..100);
+        assert!(target.merge_many([&good, &bad]).is_err());
+        // The compatible operand was absorbed and the histogram matches
+        // the registers.
+        let expected = {
+            let mut s = SetSketch1::new(config(), 9);
+            s.extend(0..1000);
+            s
+        };
+        assert_eq!(target, expected);
+        assert_eq!(target.register_histogram(), expected.register_histogram());
     }
 
     #[test]

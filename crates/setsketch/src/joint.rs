@@ -33,13 +33,11 @@ pub struct JointEstimate {
 }
 
 impl<S: ValueSequence> SetSketch<S> {
-    /// Register comparison counts against a compatible sketch.
+    /// Register comparison counts against a compatible sketch (one pass
+    /// of the vectorized three-way comparison kernel).
     pub fn joint_counts(&self, other: &Self) -> Result<JointCounts, IncompatibleSketches> {
         self.check_compatible(other)?;
-        Ok(JointCounts::from_registers(
-            self.registers(),
-            other.registers(),
-        ))
+        Ok(JointCounts::from_u32(self.registers(), other.registers()))
     }
 
     /// Joint estimation with cardinalities estimated from the sketches

@@ -13,7 +13,7 @@
 
 use crate::config::SetSketchConfig;
 use crate::sequence::{ExponentialSpacings, IntervalSampling, ValueSequence};
-use sketch_math::PowerTable;
+use sketch_math::{kernels, PowerTable};
 use sketch_rand::{hash_of, hash_u64, IncrementalShuffle, WyRand};
 use std::sync::Arc;
 
@@ -101,6 +101,25 @@ pub struct SetSketch<S: ValueSequence> {
     k_low: u32,
     /// Register modifications since the last K_low rescan (w in Alg. 1).
     modifications: u32,
+    /// Incremental estimator state: `histogram[k]` counts the registers
+    /// currently holding value `k` (`q + 2` buckets). Maintained on every
+    /// register write, rebuilt from the registers after merges and
+    /// deserialization, so cardinality estimation reads O(q) buckets
+    /// instead of rescanning all m registers.
+    ///
+    /// Only kept for *dense* register scales (`q + 2 ≤ 4 m`, covering
+    /// the paper's b = 2 configurations); for sparse scales (b close to
+    /// 1, where q ≫ m) the bucket array would dwarf the registers and
+    /// the O(m) register scan is the cheaper estimator, so the vector
+    /// stays empty and estimation falls back to scanning.
+    histogram: Vec<u32>,
+}
+
+/// True when a configuration's register scale is dense enough that the
+/// maintained histogram (`q + 2` buckets) pays for itself against the m
+/// registers it summarizes.
+fn maintains_histogram(config: &SetSketchConfig) -> bool {
+    config.q() as usize + 2 <= 4 * config.m()
 }
 
 impl<S: ValueSequence> SetSketch<S> {
@@ -121,6 +140,13 @@ impl<S: ValueSequence> SetSketch<S> {
     pub fn with_shared_table(config: SetSketchConfig, seed: u64, table: Arc<PowerTable>) -> Self {
         assert_eq!(table.b(), config.b(), "power table base mismatch");
         assert_eq!(table.q(), config.q(), "power table limit mismatch");
+        let histogram = if maintains_histogram(&config) {
+            let mut histogram = vec![0u32; config.q() as usize + 2];
+            histogram[0] = config.m() as u32;
+            histogram
+        } else {
+            Vec::new()
+        };
         Self {
             registers: vec![0; config.m()],
             sequence: S::create(config.m(), config.a()),
@@ -130,6 +156,7 @@ impl<S: ValueSequence> SetSketch<S> {
             seed,
             k_low: 0,
             modifications: 0,
+            histogram,
         }
     }
 
@@ -163,15 +190,33 @@ impl<S: ValueSequence> SetSketch<S> {
         self.k_low
     }
 
+    /// The maintained register value histogram, when one is kept:
+    /// `register_histogram().unwrap()[k]` is the number of registers
+    /// currently equal to `k`, for `k ∈ 0..=q+1`, exactly in sync with
+    /// [`registers`](Self::registers) across inserts, merges and state
+    /// restores — this is what makes cardinality estimation O(q).
+    ///
+    /// Returns `None` for sparse register scales (`q + 2 > 4 m`, i.e. b
+    /// close to 1 on a small sketch), where the bucket array would dwarf
+    /// the registers and estimation scans the m registers directly.
+    #[inline]
+    pub fn register_histogram(&self) -> Option<&[u32]> {
+        (!self.histogram.is_empty()).then_some(self.histogram.as_slice())
+    }
+
     /// The shared power table of this sketch's scale.
     #[inline]
     pub fn power_table(&self) -> &Arc<PowerTable> {
         &self.table
     }
 
-    /// True if no register has ever been modified.
+    /// True if no register has ever been modified (O(1) when the
+    /// histogram is maintained).
     pub fn is_unused(&self) -> bool {
-        self.registers.iter().all(|&k| k == 0)
+        match self.register_histogram() {
+            Some(histogram) => histogram[0] as usize == self.config.m(),
+            None => self.registers.iter().all(|&k| k == 0),
+        }
     }
 
     /// Inserts any hashable element.
@@ -186,10 +231,59 @@ impl<S: ValueSequence> SetSketch<S> {
         self.insert_hash(hash_u64(element, self.seed));
     }
 
-    /// Inserts all elements of an iterator.
+    /// Inserts all elements of an iterator through the batched fast path
+    /// ([`insert_batch`](Self::insert_batch)): elements are hashed,
+    /// sorted and deduplicated in bounded chunks, so within each chunk
+    /// duplicates never reach Algorithm 1 and the `K_low` early exit
+    /// tightens as the chunk proceeds.
+    ///
+    /// The stream is consumed in fixed-size chunks
+    /// ([`EXTEND_CHUNK`](Self::EXTEND_CHUNK) elements), keeping peak
+    /// memory constant for arbitrarily large iterators while retaining
+    /// almost all of the batch speedup (chunks are much larger than m).
     pub fn extend<I: IntoIterator<Item = u64>>(&mut self, elements: I) {
-        for e in elements {
-            self.insert_u64(e);
+        let seed = self.seed;
+        let mut elements = elements.into_iter();
+        let mut hashes: Vec<u64> = Vec::new();
+        loop {
+            hashes.clear();
+            hashes.extend(
+                elements
+                    .by_ref()
+                    .take(Self::EXTEND_CHUNK)
+                    .map(|e| hash_u64(e, seed)),
+            );
+            if hashes.is_empty() {
+                return;
+            }
+            self.insert_hashes(&mut hashes);
+        }
+    }
+
+    /// Chunk size of [`extend`](Self::extend)'s streaming batch
+    /// processing (elements buffered, hashed, and sorted at a time).
+    pub const EXTEND_CHUNK: usize = 1 << 16;
+
+    /// Inserts a batch of 64-bit elements (batched Algorithm 1).
+    ///
+    /// Semantically identical to inserting each element individually,
+    /// but the batch is hashed up front, sorted and deduplicated, so
+    /// repeated elements are dropped before touching the register scan
+    /// and the `K_low` lower-bound early exit (paper §2.2) — which only
+    /// tightens as earlier batch elements raise the registers — discards
+    /// most remaining elements after a single comparison.
+    pub fn insert_batch(&mut self, elements: &[u64]) {
+        let seed = self.seed;
+        let mut hashes: Vec<u64> = elements.iter().map(|&e| hash_u64(e, seed)).collect();
+        self.insert_hashes(&mut hashes);
+    }
+
+    /// Sorts, deduplicates and inserts pre-hashed elements.
+    fn insert_hashes(&mut self, hashes: &mut Vec<u64>) {
+        hashes.sort_unstable();
+        hashes.dedup();
+        for &hash in hashes.iter() {
+            self.insert_hash(hash);
         }
     }
 
@@ -210,8 +304,13 @@ impl<S: ValueSequence> SetSketch<S> {
                 break;
             };
             let i = self.shuffle.next(&mut rng) as usize;
-            if k > self.registers[i] {
+            let old = self.registers[i];
+            if k > old {
                 self.registers[i] = k;
+                if !self.histogram.is_empty() {
+                    self.histogram[old as usize] -= 1;
+                    self.histogram[k as usize] += 1;
+                }
                 self.modifications += 1;
                 if self.modifications >= m as u32 {
                     self.rescan_lower_bound();
@@ -221,18 +320,27 @@ impl<S: ValueSequence> SetSketch<S> {
     }
 
     /// Replaces the register contents (used when restoring serialized
-    /// state); recomputes the lower bound.
+    /// state); recomputes the lower bound and the estimator histogram.
     pub(crate) fn load_registers(&mut self, values: &[u32]) {
         debug_assert_eq!(values.len(), self.registers.len());
         self.registers.copy_from_slice(values);
+        self.rebuild_histogram();
         self.rescan_lower_bound();
+    }
+
+    /// Recomputes the maintained histogram (if any) from the registers
+    /// in one kernel pass.
+    fn rebuild_histogram(&mut self) {
+        if !self.histogram.is_empty() {
+            kernels::histogram_counts(&self.registers, &mut self.histogram);
+        }
     }
 
     /// Rescans all registers to raise K_low (amortized O(1) per register
     /// increment, §2.2).
     #[cold]
     fn rescan_lower_bound(&mut self) {
-        self.k_low = self.registers.iter().copied().min().unwrap_or(0);
+        self.k_low = kernels::min_scan(&self.registers);
         self.modifications = 0;
     }
 
@@ -249,42 +357,90 @@ impl<S: ValueSequence> SetSketch<S> {
 
     /// Merges `other` into `self` (union semantics): element-wise register
     /// maximum, which is idempotent, associative and commutative.
+    ///
+    /// Runs the fused [`kernels::max_merge_min`] register kernel — the
+    /// merged `K_low` falls out of the same pass, so no separate rescan
+    /// is needed — and rebuilds the estimator histogram once at the end.
     pub fn merge(&mut self, other: &Self) -> Result<(), IncompatibleSketches> {
         self.check_compatible(other)?;
-        for (a, &b) in self.registers.iter_mut().zip(&other.registers) {
-            if b > *a {
-                *a = b;
-            }
-        }
-        // Registers only grew; the old K_low stays valid but may be stale.
-        self.rescan_lower_bound();
+        self.k_low = kernels::max_merge_min(&mut self.registers, &other.registers);
+        self.modifications = 0;
+        self.rebuild_histogram();
         Ok(())
     }
 
+    /// Merges every sketch of the iterator into `self`, running the
+    /// register kernel per operand but rebuilding the estimator
+    /// histogram only once at the end (the batched form behind
+    /// `Mergeable::merge_many`).
+    ///
+    /// On an incompatibility error the registers already absorbed stay
+    /// merged (union semantics make partial application harmless) and
+    /// all internal state is left consistent.
+    pub fn merge_all<'a, I>(&mut self, others: I) -> Result<(), IncompatibleSketches>
+    where
+        I: IntoIterator<Item = &'a Self>,
+        S: 'a,
+    {
+        let mut merged_any = false;
+        let result = others.into_iter().try_for_each(|other| {
+            self.check_compatible(other)?;
+            self.k_low = kernels::max_merge_min(&mut self.registers, &other.registers);
+            self.modifications = 0;
+            merged_any = true;
+            Ok(())
+        });
+        if merged_any {
+            // One histogram rebuild covers every absorbed operand — also
+            // on the error path, so the sketch stays internally
+            // consistent even when a later operand is incompatible.
+            self.rebuild_histogram();
+        }
+        result
+    }
+
     /// Returns the union sketch of two compatible sketches.
+    ///
+    /// Starts from a clone of the side with the higher tracked `K_low`
+    /// (the "larger" sketch): merging is commutative, and the
+    /// better-filled side gives the result the tighter lower bound with
+    /// fewer register overwrites.
     pub fn merged(&self, other: &Self) -> Result<Self, IncompatibleSketches> {
-        let mut result = self.clone();
-        result.merge(other)?;
+        let (base, addend) = if other.k_low > self.k_low {
+            (other, self)
+        } else {
+            (self, other)
+        };
+        let mut result = base.clone();
+        result.merge(addend)?;
         Ok(result)
     }
 
-    /// Register histogram boundary counts and the estimator sum in one
-    /// pass: `(C_0, Σ_{0<k<q+1} b^{-K_i}, C_{q+1})`.
+    /// Register histogram boundary counts and the estimator sum:
+    /// `(C_0, Σ_{0<k<q+1} C_k b^{-k}, C_{q+1})`.
+    ///
+    /// Read from the maintained histogram in O(q) — independent of m —
+    /// when one is kept; sparse scales (q ≫ m) scan the m registers
+    /// directly instead.
     pub(crate) fn histogram_sum(&self) -> (usize, f64, usize) {
-        let limit = self.config.q() + 1;
-        let mut c0 = 0usize;
-        let mut c_limit = 0usize;
-        let mut sum = 0.0f64;
-        for &k in &self.registers {
-            if k == 0 {
-                c0 += 1;
-            } else if k == limit {
-                c_limit += 1;
-            } else {
-                sum += self.table.pow_neg(k);
+        let limit = self.config.q() as usize + 1;
+        let Some(histogram) = self.register_histogram() else {
+            let limit = limit as u32;
+            let mut c0 = 0usize;
+            let mut c_limit = 0usize;
+            let mut sum = 0.0f64;
+            for &k in &self.registers {
+                if k == 0 {
+                    c0 += 1;
+                } else if k == limit {
+                    c_limit += 1;
+                } else {
+                    sum += self.table.pow_neg(k);
+                }
             }
-        }
-        (c0, sum, c_limit)
+            return (c0, sum, c_limit);
+        };
+        kernels::fold_histogram(histogram, &self.table)
     }
 }
 

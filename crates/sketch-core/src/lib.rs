@@ -187,6 +187,28 @@ pub trait Mergeable: Sized {
         merged.merge_from(other)?;
         Ok(merged)
     }
+
+    /// Merges every sketch of the iterator into `self` (union
+    /// semantics).
+    ///
+    /// The default loops [`merge_from`](Self::merge_from); sketches with
+    /// batched register kernels override it to amortize per-merge
+    /// bookkeeping across the whole batch (SetSketch runs one fused
+    /// max-merge pass per operand and rebuilds its estimator histogram
+    /// once at the end). On an incompatibility error, operands already
+    /// absorbed stay merged — union semantics make partial application
+    /// harmless, and implementations must leave `self` internally
+    /// consistent.
+    fn merge_many<'a, I>(&mut self, others: I) -> Result<(), Self::MergeError>
+    where
+        I: IntoIterator<Item = &'a Self>,
+        Self: 'a,
+    {
+        for other in others {
+            self.merge_from(other)?;
+        }
+        Ok(())
+    }
 }
 
 /// Distinct-count estimation from a sketch state.

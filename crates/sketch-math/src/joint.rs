@@ -44,6 +44,10 @@ impl JointCounts {
 
     /// Builds counts from two register slices of equal length.
     ///
+    /// For `u32` registers — every register-array sketch in this
+    /// workspace — prefer [`from_u32`](Self::from_u32), which runs the
+    /// vectorized comparison kernel instead of this element-wise loop.
+    ///
     /// # Panics
     /// Panics if the slices differ in length.
     pub fn from_registers<T: Ord>(u: &[T], v: &[T]) -> Self {
@@ -57,6 +61,18 @@ impl JointCounts {
             }
         }
         counts
+    }
+
+    /// Builds counts from two `u32` register arrays through the
+    /// vectorized [`compare_counts`](crate::kernels::compare_counts)
+    /// kernel; semantically identical to
+    /// [`from_registers`](Self::from_registers).
+    ///
+    /// # Panics
+    /// Panics if the slices differ in length.
+    pub fn from_u32(u: &[u32], v: &[u32]) -> Self {
+        let (d_plus, d_minus, d0) = crate::kernels::compare_counts(u, v);
+        Self::new(d_plus, d_minus, d0)
     }
 
     /// Total number of compared registers.

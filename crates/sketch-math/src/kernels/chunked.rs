@@ -1,0 +1,161 @@
+//! Auto-vectorization-friendly chunked implementations.
+//!
+//! Each primitive processes [`LANES`] registers per loop
+//! iteration over independent per-lane accumulators and handles the
+//! remainder with the scalar code. The lane loops are branch-free
+//! (`max`/`min`/bool-to-int arithmetic instead of compares-and-jumps), so
+//! LLVM lowers them to packed SIMD instructions on x86-64 and AArch64
+//! without any target-feature or `unsafe` code.
+//!
+//! The histogram kernel is the exception: its scatter increment is
+//! inherently serial, so the chunked form "only" splits the counting
+//! across four interleaved accumulator stripes to break the
+//! store-to-load dependency chain between equal adjacent values — the
+//! dominant stall of a naive histogram loop on repetitive register
+//! contents. The stripes live in one flat buffer sized from the caller's
+//! `counts` length, so the optimization is applied exactly when the
+//! bucket range is small (the `q + 2` buckets of real sketch configs).
+
+use super::{scalar, LANES};
+
+/// Threshold (in buckets) below which the histogram kernel uses
+/// interleaved accumulator stripes; larger ranges fall back to the
+/// single-stripe scalar loop to keep the working set small.
+const HISTOGRAM_STRIPE_LIMIT: usize = 1 << 10;
+
+/// Number of interleaved histogram accumulator stripes.
+const STRIPES: usize = 4;
+
+/// Element-wise maximum of `src` into `dst` fused with a minimum scan of
+/// the result. See [`super::max_merge_min`].
+pub fn max_merge_min(dst: &mut [u32], src: &[u32]) -> u32 {
+    assert_eq!(
+        dst.len(),
+        src.len(),
+        "register arrays must have equal length"
+    );
+    if dst.is_empty() {
+        return 0;
+    }
+    let mut mins = [u32::MAX; LANES];
+    let mut dst_chunks = dst.chunks_exact_mut(LANES);
+    let mut src_chunks = src.chunks_exact(LANES);
+    for (d, s) in (&mut dst_chunks).zip(&mut src_chunks) {
+        for lane in 0..LANES {
+            let merged = d[lane].max(s[lane]);
+            d[lane] = merged;
+            mins[lane] = mins[lane].min(merged);
+        }
+    }
+    let mut min = mins.into_iter().fold(u32::MAX, u32::min);
+    let tail = dst_chunks.into_remainder();
+    if !tail.is_empty() {
+        min = min.min(scalar::max_merge_min(tail, src_chunks.remainder()));
+    }
+    min
+}
+
+/// Element-wise maximum of `src` into `dst` without the minimum scan.
+/// See [`super::max_merge`].
+pub fn max_merge(dst: &mut [u32], src: &[u32]) {
+    assert_eq!(
+        dst.len(),
+        src.len(),
+        "register arrays must have equal length"
+    );
+    let mut dst_chunks = dst.chunks_exact_mut(LANES);
+    let mut src_chunks = src.chunks_exact(LANES);
+    for (d, s) in (&mut dst_chunks).zip(&mut src_chunks) {
+        for lane in 0..LANES {
+            d[lane] = d[lane].max(s[lane]);
+        }
+    }
+    scalar::max_merge(dst_chunks.into_remainder(), src_chunks.remainder());
+}
+
+/// Minimum register value. See [`super::min_scan`].
+pub fn min_scan(values: &[u32]) -> u32 {
+    if values.is_empty() {
+        return 0;
+    }
+    let mut mins = [u32::MAX; LANES];
+    let mut chunks = values.chunks_exact(LANES);
+    for chunk in &mut chunks {
+        for lane in 0..LANES {
+            mins[lane] = mins[lane].min(chunk[lane]);
+        }
+    }
+    let mut min = mins.into_iter().fold(u32::MAX, u32::min);
+    for &v in chunks.remainder() {
+        min = min.min(v);
+    }
+    min
+}
+
+/// Bucket capacity of the stack-allocated stripe buffer; ranges between
+/// this and [`HISTOGRAM_STRIPE_LIMIT`] fall back to a heap buffer.
+const STACK_STRIPE_BUCKETS: usize = 256;
+
+/// Register value histogram. See [`super::histogram_counts`].
+pub fn histogram_counts(values: &[u32], counts: &mut [u32]) {
+    if counts.len() > HISTOGRAM_STRIPE_LIMIT || values.len() < 4 * STRIPES {
+        return scalar::histogram_counts(values, counts);
+    }
+    if counts.len() <= STACK_STRIPE_BUCKETS {
+        // The common case (q = 62 → 64 buckets) stays allocation-free:
+        // merge and deserialize rebuild histograms through this path.
+        let mut stripes = [0u32; STRIPES * STACK_STRIPE_BUCKETS];
+        striped_counts(values, counts, &mut stripes[..STRIPES * counts.len()]);
+    } else {
+        let mut stripes = vec![0u32; STRIPES * counts.len()];
+        striped_counts(values, counts, &mut stripes);
+    }
+}
+
+/// Counts `values` into `counts` using four interleaved accumulator
+/// stripes (`stripes.len() == 4 * counts.len()`, zeroed).
+fn striped_counts(values: &[u32], counts: &mut [u32], stripes: &mut [u32]) {
+    let buckets = counts.len();
+    let (s0, rest) = stripes.split_at_mut(buckets);
+    let (s1, rest) = rest.split_at_mut(buckets);
+    let (s2, s3) = rest.split_at_mut(buckets);
+    let mut chunks = values.chunks_exact(STRIPES);
+    for chunk in &mut chunks {
+        // Four independent counter arrays: equal adjacent register values
+        // hit different cache lines' counters, so the increments pipeline
+        // instead of serializing on store-to-load forwarding.
+        s0[chunk[0] as usize] += 1;
+        s1[chunk[1] as usize] += 1;
+        s2[chunk[2] as usize] += 1;
+        s3[chunk[3] as usize] += 1;
+    }
+    for &v in chunks.remainder() {
+        s0[v as usize] += 1;
+    }
+    for (k, count) in counts.iter_mut().enumerate() {
+        *count = s0[k] + s1[k] + s2[k] + s3[k];
+    }
+}
+
+/// Three-way comparison counts `(D⁺, D⁻, D₀)`. See
+/// [`super::compare_counts`].
+pub fn compare_counts(u: &[u32], v: &[u32]) -> (u32, u32, u32) {
+    assert_eq!(u.len(), v.len(), "register arrays must have equal length");
+    let mut plus = [0u32; LANES];
+    let mut minus = [0u32; LANES];
+    let mut u_chunks = u.chunks_exact(LANES);
+    let mut v_chunks = v.chunks_exact(LANES);
+    for (a, b) in (&mut u_chunks).zip(&mut v_chunks) {
+        for lane in 0..LANES {
+            plus[lane] += (a[lane] > b[lane]) as u32;
+            minus[lane] += (a[lane] < b[lane]) as u32;
+        }
+    }
+    let mut d_plus: u32 = plus.iter().sum();
+    let mut d_minus: u32 = minus.iter().sum();
+    for (&a, &b) in u_chunks.remainder().iter().zip(v_chunks.remainder()) {
+        d_plus += (a > b) as u32;
+        d_minus += (a < b) as u32;
+    }
+    (d_plus, d_minus, u.len() as u32 - d_plus - d_minus)
+}

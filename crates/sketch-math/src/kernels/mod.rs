@@ -1,0 +1,231 @@
+//! Vectorization-friendly register-plane kernels.
+//!
+//! Every scan-heavy hot path of the workspace's sketches reduces to one of
+//! four primitives over `u32` register arrays:
+//!
+//! * [`max_merge_min`] — element-wise maximum of two register arrays (the
+//!   union merge of every max-based sketch), fused with a minimum scan of
+//!   the result so the merged sketch's `K_low` lower bound comes out of
+//!   the same pass instead of a separate rescan (plain [`max_merge`]
+//!   exists for consumers with no lower bound to maintain);
+//! * [`min_scan`] — minimum register value (the `K_low` rescan of paper
+//!   §2.2);
+//! * [`histogram_counts`] — the full register value histogram
+//!   (`C_0`, the bucketed interior counts, and `C_{q+1}`) in one pass,
+//!   feeding the corrected cardinality estimator (18) and the incremental
+//!   estimator state kept by `SetSketch`;
+//! * [`compare_counts`] — the three-way `D⁺`/`D⁻`/`D₀` register
+//!   comparison of the joint estimator (paper §3.2).
+//!
+//! Each primitive exists in two semantically identical implementations:
+//! a plain [`scalar`] reference, and a [`chunked`] variant that processes
+//! eight lanes per loop iteration with a scalar tail. The chunked form is
+//! written so LLVM's auto-vectorizer turns the lane loop into SIMD on
+//! every target with 128/256-bit vectors — no target features, no
+//! `unsafe`. With the non-default `nightly-simd` feature (nightly
+//! toolchain only) an explicit [`std::simd`] implementation is used
+//! instead.
+//!
+//! The free functions at this level are the dispatchers used by the
+//! sketch crates; the per-implementation modules stay public so tests and
+//! benchmarks can compare them directly.
+
+pub mod chunked;
+pub mod scalar;
+#[cfg(feature = "nightly-simd")]
+pub mod simd;
+
+/// Lane width of the [`chunked`] implementations (eight `u32`s — one
+/// AVX2 vector, two NEON/SSE vectors).
+pub const LANES: usize = 8;
+
+#[cfg(not(feature = "nightly-simd"))]
+use chunked as fastest;
+#[cfg(feature = "nightly-simd")]
+use simd as fastest;
+
+/// Merges `src` into `dst` by element-wise maximum and returns the
+/// minimum register value of the merged result (0 for empty arrays).
+///
+/// The fused minimum makes the separate `K_low` rescan after a merge
+/// unnecessary: the returned value *is* the exact new lower bound.
+///
+/// # Panics
+/// Panics if the slices differ in length.
+#[inline]
+pub fn max_merge_min(dst: &mut [u32], src: &[u32]) -> u32 {
+    fastest::max_merge_min(dst, src)
+}
+
+/// Merges `src` into `dst` by element-wise maximum, without the fused
+/// minimum of [`max_merge_min`] — for consumers with no lower bound to
+/// maintain (HyperMinHash, GHLL without `K_low` tracking).
+///
+/// # Panics
+/// Panics if the slices differ in length.
+#[inline]
+pub fn max_merge(dst: &mut [u32], src: &[u32]) {
+    fastest::max_merge(dst, src)
+}
+
+/// Minimum register value of `values` (0 for an empty slice).
+#[inline]
+pub fn min_scan(values: &[u32]) -> u32 {
+    fastest::min_scan(values)
+}
+
+/// Counts register values into `counts`: afterwards `counts[k]` is the
+/// number of entries of `values` equal to `k`. The buffer is zeroed
+/// first; its length must cover every occurring value (`q + 2` buckets
+/// for a sketch with registers in `0..=q+1`, so `counts[0] = C_0` and
+/// `counts[q + 1] = C_{q+1}`).
+///
+/// # Panics
+/// Panics if a value of `values` is out of range for `counts`.
+#[inline]
+pub fn histogram_counts(values: &[u32], counts: &mut [u32]) {
+    fastest::histogram_counts(values, counts)
+}
+
+/// Three-way register comparison `(D⁺, D⁻, D₀)`: the number of positions
+/// where `u` exceeds, trails, or equals `v` (paper §3.2/§4.1).
+///
+/// # Panics
+/// Panics if the slices differ in length.
+#[inline]
+pub fn compare_counts(u: &[u32], v: &[u32]) -> (u32, u32, u32) {
+    fastest::compare_counts(u, v)
+}
+
+/// Folds a `q + 2`-bucket register value histogram (as produced by
+/// [`histogram_counts`]) into the corrected estimator's inputs
+/// `(C_0, Σ_{0<k<q+1} C_k b^{-k}, C_{q+1})`, with one power-table lookup
+/// per *occupied* interior bucket.
+///
+/// # Panics
+/// Panics if `counts` has fewer than two buckets or the table does not
+/// cover its range.
+pub fn fold_histogram(
+    counts: &[u32],
+    table: &crate::power_table::PowerTable,
+) -> (usize, f64, usize) {
+    let limit = counts.len() - 1;
+    let mut sum = 0.0f64;
+    for (k, &count) in counts[1..limit].iter().enumerate() {
+        if count > 0 {
+            sum += count as f64 * table.pow_neg(k as u32 + 1);
+        }
+    }
+    (counts[0] as usize, sum, counts[limit] as usize)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample(len: usize, modulus: u32) -> Vec<u32> {
+        // Deterministic pseudo-random register contents.
+        (0..len as u64)
+            .map(|i| {
+                let x = i
+                    .wrapping_mul(0x9e37_79b9_7f4a_7c15)
+                    .rotate_left(17)
+                    .wrapping_mul(0xbf58_476d_1ce4_e5b9);
+                (x % modulus as u64) as u32
+            })
+            .collect()
+    }
+
+    #[test]
+    fn implementations_agree_on_representative_lengths() {
+        // Cover the empty slice, sub-lane lengths, exact multiples of the
+        // lane width, and lengths with every possible tail size.
+        for len in (0..=2 * LANES + 1).chain([64, 255, 256, 1000]) {
+            let u = sample(len, 23);
+            let v = sample(len.wrapping_mul(7) % 1001, 23);
+            let v = {
+                let mut v = v;
+                v.resize(len, 3);
+                v
+            };
+
+            assert_eq!(scalar::min_scan(&u), chunked::min_scan(&u), "len {len}");
+
+            let mut dst_scalar = u.clone();
+            let mut dst_chunked = u.clone();
+            let min_scalar = scalar::max_merge_min(&mut dst_scalar, &v);
+            let min_chunked = chunked::max_merge_min(&mut dst_chunked, &v);
+            assert_eq!(dst_scalar, dst_chunked, "len {len}");
+            assert_eq!(min_scalar, min_chunked, "len {len}");
+
+            let mut plain_scalar = u.clone();
+            let mut plain_chunked = u.clone();
+            scalar::max_merge(&mut plain_scalar, &v);
+            chunked::max_merge(&mut plain_chunked, &v);
+            assert_eq!(plain_scalar, dst_scalar, "len {len}");
+            assert_eq!(plain_chunked, dst_scalar, "len {len}");
+
+            assert_eq!(
+                scalar::compare_counts(&u, &v),
+                chunked::compare_counts(&u, &v),
+                "len {len}"
+            );
+
+            let mut counts_scalar = vec![0u32; 23];
+            let mut counts_chunked = vec![u32::MAX; 23]; // must be zeroed
+            scalar::histogram_counts(&u, &mut counts_scalar);
+            chunked::histogram_counts(&u, &mut counts_chunked);
+            assert_eq!(counts_scalar, counts_chunked, "len {len}");
+        }
+    }
+
+    #[test]
+    fn max_merge_min_merges_and_returns_minimum() {
+        let mut dst = vec![3u32, 0, 7, 2];
+        let src = vec![1u32, 5, 6, 2];
+        let min = max_merge_min(&mut dst, &src);
+        assert_eq!(dst, vec![3, 5, 7, 2]);
+        assert_eq!(min, 2);
+    }
+
+    #[test]
+    fn empty_slices_are_handled() {
+        assert_eq!(max_merge_min(&mut [], &[]), 0);
+        assert_eq!(min_scan(&[]), 0);
+        assert_eq!(compare_counts(&[], &[]), (0, 0, 0));
+        let mut counts = [7u32; 4];
+        histogram_counts(&[], &mut counts);
+        assert_eq!(counts, [0; 4]);
+    }
+
+    #[test]
+    fn compare_counts_matches_manual() {
+        let u = [5u32, 3, 7, 7, 1];
+        let v = [4u32, 3, 9, 7, 2];
+        assert_eq!(compare_counts(&u, &v), (1, 2, 2));
+    }
+
+    #[test]
+    fn histogram_counts_sums_to_length() {
+        let values = sample(777, 16);
+        let mut counts = vec![0u32; 16];
+        histogram_counts(&values, &mut counts);
+        assert_eq!(counts.iter().sum::<u32>(), 777);
+        for (k, &c) in counts.iter().enumerate() {
+            let expect = values.iter().filter(|&&x| x == k as u32).count() as u32;
+            assert_eq!(c, expect, "bucket {k}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "equal length")]
+    fn max_merge_min_rejects_length_mismatch() {
+        max_merge_min(&mut [1, 2], &[1]);
+    }
+
+    #[test]
+    #[should_panic(expected = "equal length")]
+    fn compare_counts_rejects_length_mismatch() {
+        compare_counts(&[1], &[1, 2]);
+    }
+}

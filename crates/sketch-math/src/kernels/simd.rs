@@ -1,0 +1,108 @@
+//! Explicit `std::simd` implementations (nightly only).
+//!
+//! Enabled by the non-default `nightly-simd` feature, which turns on the
+//! `portable_simd` language feature — the crate does not compile with it
+//! on a stable toolchain. Semantics are pinned to [`super::scalar`] by
+//! the same property tests that cover [`super::chunked`].
+//!
+//! The histogram scatter has no portable SIMD formulation, so
+//! [`histogram_counts`] reuses the chunked stripes.
+
+use super::{chunked, LANES};
+use std::simd::cmp::{SimdOrd, SimdPartialOrd};
+use std::simd::num::SimdUint;
+use std::simd::{Select, Simd};
+
+type Lanes = Simd<u32, LANES>;
+
+/// Element-wise maximum of `src` into `dst` fused with a minimum scan of
+/// the result. See [`super::max_merge_min`].
+pub fn max_merge_min(dst: &mut [u32], src: &[u32]) -> u32 {
+    assert_eq!(
+        dst.len(),
+        src.len(),
+        "register arrays must have equal length"
+    );
+    if dst.is_empty() {
+        return 0;
+    }
+    let mut mins = Lanes::splat(u32::MAX);
+    let mut dst_chunks = dst.chunks_exact_mut(LANES);
+    let mut src_chunks = src.chunks_exact(LANES);
+    for (d, s) in (&mut dst_chunks).zip(&mut src_chunks) {
+        let merged = Lanes::from_slice(d).simd_max(Lanes::from_slice(s));
+        merged.copy_to_slice(d);
+        mins = mins.simd_min(merged);
+    }
+    let mut min = mins.reduce_min();
+    let tail = dst_chunks.into_remainder();
+    if !tail.is_empty() {
+        min = min.min(super::scalar::max_merge_min(tail, src_chunks.remainder()));
+    }
+    min
+}
+
+/// Element-wise maximum of `src` into `dst` without the minimum scan.
+/// See [`super::max_merge`].
+pub fn max_merge(dst: &mut [u32], src: &[u32]) {
+    assert_eq!(
+        dst.len(),
+        src.len(),
+        "register arrays must have equal length"
+    );
+    let mut dst_chunks = dst.chunks_exact_mut(LANES);
+    let mut src_chunks = src.chunks_exact(LANES);
+    for (d, s) in (&mut dst_chunks).zip(&mut src_chunks) {
+        Lanes::from_slice(d)
+            .simd_max(Lanes::from_slice(s))
+            .copy_to_slice(d);
+    }
+    super::scalar::max_merge(dst_chunks.into_remainder(), src_chunks.remainder());
+}
+
+/// Minimum register value. See [`super::min_scan`].
+pub fn min_scan(values: &[u32]) -> u32 {
+    if values.is_empty() {
+        return 0;
+    }
+    let mut mins = Lanes::splat(u32::MAX);
+    let mut chunks = values.chunks_exact(LANES);
+    for chunk in &mut chunks {
+        mins = mins.simd_min(Lanes::from_slice(chunk));
+    }
+    let mut min = mins.reduce_min();
+    for &v in chunks.remainder() {
+        min = min.min(v);
+    }
+    min
+}
+
+/// Register value histogram. See [`super::histogram_counts`].
+pub fn histogram_counts(values: &[u32], counts: &mut [u32]) {
+    chunked::histogram_counts(values, counts)
+}
+
+/// Three-way comparison counts `(D⁺, D⁻, D₀)`. See
+/// [`super::compare_counts`].
+pub fn compare_counts(u: &[u32], v: &[u32]) -> (u32, u32, u32) {
+    assert_eq!(u.len(), v.len(), "register arrays must have equal length");
+    let mut plus = Lanes::splat(0);
+    let mut minus = Lanes::splat(0);
+    let one = Lanes::splat(1);
+    let zero = Lanes::splat(0);
+    let mut u_chunks = u.chunks_exact(LANES);
+    let mut v_chunks = v.chunks_exact(LANES);
+    for (a, b) in (&mut u_chunks).zip(&mut v_chunks) {
+        let a = Lanes::from_slice(a);
+        let b = Lanes::from_slice(b);
+        plus += a.simd_gt(b).select(one, zero);
+        minus += a.simd_lt(b).select(one, zero);
+    }
+    let mut d_plus = plus.reduce_sum();
+    let mut d_minus = minus.reduce_sum();
+    for (&a, &b) in u_chunks.remainder().iter().zip(v_chunks.remainder()) {
+        d_plus += (a > b) as u32;
+        d_minus += (a < b) as u32;
+    }
+    (d_plus, d_minus, u.len() as u32 - d_plus - d_minus)
+}

@@ -17,14 +17,20 @@
 //!   closed form for b → 1, inclusion–exclusion) shared by SetSketch,
 //!   MinHash, GHLL and HyperMinHash,
 //! * base-b register scale tables ([`power_table::PowerTable`]),
+//! * the vectorization-friendly register-plane kernels ([`kernels`]) all
+//!   scan-heavy sketch hot paths (merge, `K_low` rescans, histogram
+//!   builds, joint comparison counts) are built on,
 //! * exact binomial error analysis and running moment statistics used by
 //!   the experiment harness.
+
+#![cfg_attr(feature = "nightly-simd", feature(portable_simd))]
 
 pub mod binomial;
 pub mod bitpack;
 pub mod brent;
 pub mod fisher;
 pub mod joint;
+pub mod kernels;
 pub mod pb;
 pub mod power_table;
 pub mod sigma_tau;

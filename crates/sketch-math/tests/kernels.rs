@@ -1,0 +1,104 @@
+//! Property tests pinning the vectorized register kernels to the scalar
+//! reference implementations.
+//!
+//! Whatever implementation the dispatch layer selects (chunked on
+//! stable, `std::simd` under the `nightly-simd` feature), the observable
+//! behavior must be bit-identical to the scalar loops — for arbitrary
+//! register contents and in particular for lengths that are not
+//! multiples of the chunk width, where the tail handling lives.
+
+use proptest::prelude::*;
+use sketch_math::kernels;
+use sketch_math::kernels::{chunked, scalar};
+
+/// Register-like values: small enough for histogram buckets, with ties
+/// made likely so all three comparison branches are exercised.
+fn registers(max_len: usize) -> impl Strategy<Value = Vec<u32>> {
+    proptest::collection::vec(0u32..64, 0..max_len)
+}
+
+proptest! {
+    /// The dispatched merge kernel matches the scalar merge and returns
+    /// the exact post-merge minimum for arbitrary lengths.
+    #[test]
+    fn max_merge_min_matches_scalar(mut u in registers(200), v in registers(200)) {
+        let len = u.len().min(v.len());
+        u.truncate(len);
+        let v = &v[..len];
+        let mut expect = u.clone();
+        let expect_min = scalar::max_merge_min(&mut expect, v);
+        // The plain (no fused minimum) variants produce the same merge.
+        let mut plain = u.clone();
+        kernels::max_merge(&mut plain, v);
+        prop_assert_eq!(&plain, &expect);
+        let mut plain_scalar = u.clone();
+        scalar::max_merge(&mut plain_scalar, v);
+        prop_assert_eq!(&plain_scalar, &expect);
+        let got_min = kernels::max_merge_min(&mut u, v);
+        prop_assert_eq!(&u, &expect);
+        prop_assert_eq!(got_min, expect_min);
+        // The fused minimum is the real minimum of the merged output.
+        prop_assert_eq!(got_min, u.iter().copied().min().unwrap_or(0));
+    }
+
+    /// The chunked merge agrees with the scalar merge even when the two
+    /// are compared directly (not through dispatch).
+    #[test]
+    fn chunked_merge_matches_scalar(mut u in registers(100), v in registers(100)) {
+        let len = u.len().min(v.len());
+        u.truncate(len);
+        let v = &v[..len];
+        let mut expect = u.clone();
+        let expect_min = scalar::max_merge_min(&mut expect, v);
+        let got_min = chunked::max_merge_min(&mut u, v);
+        prop_assert_eq!(u, expect);
+        prop_assert_eq!(got_min, expect_min);
+    }
+
+    /// Minimum scans agree for arbitrary contents and lengths.
+    #[test]
+    fn min_scan_matches_scalar(values in registers(300)) {
+        prop_assert_eq!(kernels::min_scan(&values), scalar::min_scan(&values));
+        prop_assert_eq!(chunked::min_scan(&values), scalar::min_scan(&values));
+    }
+
+    /// Histogram counting agrees bucket-for-bucket, including a dirty
+    /// output buffer (the kernel must zero it).
+    #[test]
+    fn histogram_matches_scalar(values in registers(300)) {
+        let mut expect = vec![0u32; 64];
+        scalar::histogram_counts(&values, &mut expect);
+        let mut got = vec![u32::MAX; 64];
+        kernels::histogram_counts(&values, &mut got);
+        prop_assert_eq!(&got, &expect);
+        let mut got_chunked = vec![1u32; 64];
+        chunked::histogram_counts(&values, &mut got_chunked);
+        prop_assert_eq!(&got_chunked, &expect);
+    }
+
+    /// Three-way comparison counts agree and always sum to the length.
+    #[test]
+    fn compare_counts_matches_scalar(mut u in registers(300), v in registers(300)) {
+        let len = u.len().min(v.len());
+        u.truncate(len);
+        let v = &v[..len];
+        let expect = scalar::compare_counts(&u, v);
+        let got = kernels::compare_counts(&u, v);
+        prop_assert_eq!(got, expect);
+        prop_assert_eq!(chunked::compare_counts(&u, v), expect);
+        let (d_plus, d_minus, d0) = got;
+        prop_assert_eq!(d_plus + d_minus + d0, len as u32);
+    }
+
+    /// `JointCounts::from_u32` (the kernel-backed fast path) equals the
+    /// generic `from_registers`.
+    #[test]
+    fn joint_counts_fast_path_matches_generic(mut u in registers(300), v in registers(300)) {
+        let len = u.len().min(v.len());
+        u.truncate(len);
+        let v = &v[..len];
+        let generic = sketch_math::JointCounts::from_registers(&u, v);
+        let fast = sketch_math::JointCounts::from_u32(&u, v);
+        prop_assert_eq!(fast, generic);
+    }
+}

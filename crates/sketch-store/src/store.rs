@@ -297,15 +297,27 @@ impl<S: Mergeable + Clone> SketchStore<S> {
 
     /// Merges every sketch in the store down to a single union sketch
     /// (`None` when the store is empty).
+    ///
+    /// Each shard is absorbed through one
+    /// [`merge_many`](Mergeable::merge_many) call under its read lock,
+    /// so sketches with batched register kernels (SetSketch) amortize
+    /// their per-merge bookkeeping across the whole shard.
     pub fn merge_down(&self) -> Result<Option<S>, StoreError> {
         let mut merged: Option<S> = None;
         for shard in self.shards.iter() {
-            for sketch in shard.read().values() {
-                match &mut merged {
-                    None => merged = Some(sketch.clone()),
-                    Some(acc) => acc.merge_from(sketch).map_err(StoreError::incompatible)?,
-                }
-            }
+            let guard = shard.read();
+            let mut sketches = guard.values();
+            let acc = match &mut merged {
+                Some(acc) => acc,
+                None => match sketches.next() {
+                    Some(first) => {
+                        merged = Some(first.clone());
+                        merged.as_mut().expect("just inserted")
+                    }
+                    None => continue,
+                },
+            };
+            acc.merge_many(sketches).map_err(StoreError::incompatible)?;
         }
         Ok(merged)
     }

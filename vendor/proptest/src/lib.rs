@@ -232,6 +232,22 @@ pub fn any<T: Arbitrary>() -> Any<T> {
     }
 }
 
+macro_rules! tuple_strategy {
+    ($(($($name:ident),+)),*) => {$(
+        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+            type Value = ($($name::Value,)+);
+
+            #[allow(non_snake_case)]
+            fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                let ($($name,)+) = self;
+                ($($name.generate(rng),)+)
+            }
+        }
+    )*};
+}
+
+tuple_strategy!((A, B), (A, B, C), (A, B, C, D));
+
 /// Strategy producing a fixed value.
 #[derive(Clone, Copy, Debug)]
 pub struct Just<T>(pub T);
