@@ -8,7 +8,8 @@
 
 use crate::ghll::{GhllSketch, IncompatibleGhll};
 use sketch_core::{
-    BatchInsert, CardinalityEstimator, JointEstimator, JointQuantities, Mergeable, Sketch,
+    BatchInsert, CardinalityEstimator, JointEstimator, JointQuantities, Mergeable, Signature,
+    Sketch,
 };
 use sketch_rand::hash_bytes;
 
@@ -40,6 +41,37 @@ impl Mergeable for GhllSketch {
 impl CardinalityEstimator for GhllSketch {
     fn cardinality(&self) -> f64 {
         self.estimate_cardinality()
+    }
+}
+
+impl Signature for GhllSketch {
+    fn signature_len(&self) -> usize {
+        self.config().m()
+    }
+
+    /// GHLL registers are used directly as the LSH signature.
+    fn signature_into(&self, out: &mut Vec<u32>) {
+        out.clear();
+        out.extend_from_slice(self.registers());
+    }
+
+    /// The SetSketch §3.3 lower collision-probability bound
+    /// `log_b(1 + J(b−1))` with GHLL's base. GHLL registers follow the
+    /// same per-register value distribution as SetSketch (stochastic
+    /// averaging changes variance, not the agreement bound's direction),
+    /// so the bound remains a conservative tuning input. Note that for
+    /// b = 2 (classic HyperLogLog) registers of *unrelated* sets already
+    /// agree with probability ≈ ln(1.25)/ln 2 ≈ 0.32, so HLL banding
+    /// prunes far less sharply than SetSketch at b close to 1.
+    fn register_collision_probability(&self, jaccard: f64) -> f64 {
+        let b = self.config().b();
+        (1.0 + jaccard * (b - 1.0)).ln() / b.ln()
+    }
+
+    /// GHLL registers are ordinal scale values; ±1 multi-probing is
+    /// meaningful.
+    fn ordinal_registers(&self) -> bool {
+        true
     }
 }
 

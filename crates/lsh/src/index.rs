@@ -10,7 +10,7 @@
 
 use parking_lot::RwLock;
 use sketch_rand::hash_u64;
-use std::collections::HashMap;
+use std::collections::{HashMap, HashSet};
 use std::hash::Hash;
 
 /// Errors raised by invalid banding configurations.
@@ -90,11 +90,65 @@ impl<K: Clone + Eq + Hash> LshIndex<K> {
         self.tables.iter().all(|t| t.read().is_empty())
     }
 
-    /// Hashes one band slice into a bucket id.
+    /// Seed of one band's prefix-hash chain.
+    #[inline]
+    fn band_seed(band: usize) -> u64 {
+        band as u64 ^ 0x9e37_79b9_7f4a_7c15
+    }
+
+    /// Hashes one band slice into a bucket id (full prefix chain).
     fn band_hash(&self, band: usize, signature: &[u32]) -> u64 {
         let start = band * self.rows;
-        let mut acc = band as u64 ^ 0x9e37_79b9_7f4a_7c15;
+        let mut acc = Self::band_seed(band);
         for &r in &signature[start..start + self.rows] {
+            acc = hash_u64(r as u64, acc);
+        }
+        acc
+    }
+
+    /// Computes every band's bucket id into `out` (cleared first; one
+    /// `u64` per band). The per-band prefix-hash chains run over the
+    /// signature in place — reusing `out` across signatures makes bulk
+    /// indexing and re-banding allocation-free.
+    ///
+    /// # Panics
+    /// Panics if the signature is shorter than `bands * rows`.
+    pub fn band_hashes_into(&self, signature: &[u32], out: &mut Vec<u64>) {
+        self.check_signature(signature);
+        out.clear();
+        out.extend((0..self.bands).map(|band| self.band_hash(band, signature)));
+    }
+
+    /// Fills `prefixes` with the `rows + 1` prefix states of one band's
+    /// hash chain: `prefixes[i]` is the accumulator after hashing the
+    /// first `i` rows, `prefixes[rows]` is the bucket id. Multi-probe
+    /// perturbations of row `i` restart the chain from `prefixes[i]` and
+    /// only re-hash the suffix.
+    fn band_prefixes(&self, band: usize, signature: &[u32], prefixes: &mut Vec<u64>) {
+        let start = band * self.rows;
+        prefixes.clear();
+        let mut acc = Self::band_seed(band);
+        prefixes.push(acc);
+        for &r in &signature[start..start + self.rows] {
+            acc = hash_u64(r as u64, acc);
+            prefixes.push(acc);
+        }
+    }
+
+    /// Bucket id of `band` with row `row` replaced by `value`, resuming
+    /// the chain from the stored prefix (hashes `rows − row` registers
+    /// instead of `rows`).
+    fn band_hash_substituted(
+        &self,
+        band: usize,
+        signature: &[u32],
+        prefixes: &[u64],
+        row: usize,
+        value: u32,
+    ) -> u64 {
+        let start = band * self.rows;
+        let mut acc = hash_u64(value as u64, prefixes[row]);
+        for &r in &signature[start + row + 1..start + self.rows] {
             acc = hash_u64(r as u64, acc);
         }
         acc
@@ -118,35 +172,162 @@ impl<K: Clone + Eq + Hash> LshIndex<K> {
         self.check_signature(signature);
         for band in 0..self.bands {
             let bucket = self.band_hash(band, signature);
-            let mut table = self.tables[band].write();
-            let entries = table.entry(bucket).or_default();
-            if !entries.contains(&key) {
-                entries.push(key.clone());
-            }
+            self.insert_bucket(band, bucket, &key);
+        }
+    }
+
+    /// Inserts a key under precomputed band bucket ids (from
+    /// [`band_hashes_into`](Self::band_hashes_into)). Storing the bucket
+    /// ids — `bands` times `u64` — lets an incrementally maintained
+    /// index re-band a changed key without keeping its old signature
+    /// around.
+    ///
+    /// # Panics
+    /// Panics if `band_hashes.len() != bands`.
+    pub fn insert_hashed(&self, key: K, band_hashes: &[u64]) {
+        self.check_band_hashes(band_hashes);
+        for (band, &bucket) in band_hashes.iter().enumerate() {
+            self.insert_bucket(band, bucket, &key);
+        }
+    }
+
+    fn insert_bucket(&self, band: usize, bucket: u64, key: &K) {
+        let mut table = self.tables[band].write();
+        let entries = table.entry(bucket).or_default();
+        if !entries.contains(key) {
+            entries.push(key.clone());
         }
     }
 
     /// Returns the distinct keys sharing at least one band with the
     /// signature.
     ///
+    /// A key stored in several matching bands is reported **once** —
+    /// candidates are deduplicated at the source, so callers never pay
+    /// repeated verification for multi-band collisions.
+    ///
     /// # Panics
     /// Panics if the signature is shorter than `bands * rows`.
     pub fn query(&self, signature: &[u32]) -> Vec<K> {
-        self.check_signature(signature);
-        let mut seen = std::collections::HashSet::new();
         let mut result = Vec::new();
+        self.query_into(signature, &mut result);
+        result
+    }
+
+    /// [`query`](Self::query) into a caller-owned buffer (cleared
+    /// first), so batched query loops reuse one allocation.
+    ///
+    /// # Panics
+    /// Panics if the signature is shorter than `bands * rows`.
+    pub fn query_into(&self, signature: &[u32], out: &mut Vec<K>) {
+        self.check_signature(signature);
+        out.clear();
+        let mut seen = HashSet::new();
         for band in 0..self.bands {
             let bucket = self.band_hash(band, signature);
+            self.probe_bucket(band, bucket, &mut seen, out);
+        }
+    }
+
+    /// Distinct keys of the buckets named by precomputed band hashes
+    /// (deduplicated at the source, like [`query`](Self::query)).
+    ///
+    /// # Panics
+    /// Panics if `band_hashes.len() != bands`.
+    pub fn query_hashed_into(&self, band_hashes: &[u64], out: &mut Vec<K>) {
+        self.check_band_hashes(band_hashes);
+        out.clear();
+        let mut seen = HashSet::new();
+        for (band, &bucket) in band_hashes.iter().enumerate() {
+            self.probe_bucket(band, bucket, &mut seen, out);
+        }
+    }
+
+    /// Appends the distinct unseen keys of one bucket to `out`.
+    fn probe_bucket(&self, band: usize, bucket: u64, seen: &mut HashSet<K>, out: &mut Vec<K>) {
+        let table = self.tables[band].read();
+        if let Some(entries) = table.get(&bucket) {
+            for key in entries {
+                if seen.insert(key.clone()) {
+                    out.push(key.clone());
+                }
+            }
+        }
+    }
+
+    /// Multi-probe query: besides each band's exact bucket, probes the
+    /// buckets reached by perturbing a single register of the band by
+    /// ±1 — the nearest-miss buckets for register-valued signatures,
+    /// where near-duplicate sets differ by one register increment.
+    /// Probing trades `2 × rows` extra bucket lookups per band for
+    /// recall without growing the index.
+    ///
+    /// Perturbed bucket ids resume the band's prefix-hash chain at the
+    /// perturbed row, so a probe costs `rows − row` register hashes, not
+    /// a full band rehash. Results are deduplicated at the source.
+    ///
+    /// # Panics
+    /// Panics if the signature is shorter than `bands * rows`.
+    pub fn query_multiprobe(&self, signature: &[u32]) -> Vec<K> {
+        self.check_signature(signature);
+        let mut seen = HashSet::new();
+        let mut out = Vec::new();
+        let mut prefixes = Vec::with_capacity(self.rows + 1);
+        for band in 0..self.bands {
+            self.band_prefixes(band, signature, &mut prefixes);
             let table = self.tables[band].read();
-            if let Some(entries) = table.get(&bucket) {
-                for key in entries {
-                    if seen.insert(key.clone()) {
-                        result.push(key.clone());
+            let mut probe = |bucket: u64| {
+                if let Some(entries) = table.get(&bucket) {
+                    for key in entries {
+                        if seen.insert(key.clone()) {
+                            out.push(key.clone());
+                        }
+                    }
+                }
+            };
+            probe(prefixes[self.rows]);
+            let start = band * self.rows;
+            for row in 0..self.rows {
+                let value = signature[start + row];
+                if let Some(upper) = value.checked_add(1) {
+                    probe(self.band_hash_substituted(band, signature, &prefixes, row, upper));
+                }
+                if let Some(lower) = value.checked_sub(1) {
+                    probe(self.band_hash_substituted(band, signature, &prefixes, row, lower));
+                }
+            }
+        }
+        out
+    }
+
+    /// Queries many signatures at once, locking each band's table **one
+    /// time for the whole batch** instead of once per signature — the
+    /// lock-amortized path for sweep-style workloads. Returns one
+    /// deduplicated candidate list per signature, identical to calling
+    /// [`query`](Self::query) on each.
+    ///
+    /// # Panics
+    /// Panics if any signature is shorter than `bands * rows`.
+    pub fn query_batch(&self, signatures: &[&[u32]]) -> Vec<Vec<K>> {
+        for signature in signatures {
+            self.check_signature(signature);
+        }
+        let mut results: Vec<Vec<K>> = signatures.iter().map(|_| Vec::new()).collect();
+        let mut seen: Vec<HashSet<K>> = signatures.iter().map(|_| HashSet::new()).collect();
+        for band in 0..self.bands {
+            let table = self.tables[band].read();
+            for ((signature, out), seen) in signatures.iter().zip(&mut results).zip(&mut seen) {
+                let bucket = self.band_hash(band, signature);
+                if let Some(entries) = table.get(&bucket) {
+                    for key in entries {
+                        if seen.insert(key.clone()) {
+                            out.push(key.clone());
+                        }
                     }
                 }
             }
         }
-        result
+        results
     }
 
     /// Removes a key from every bucket matching the signature it was
@@ -156,17 +337,80 @@ impl<K: Clone + Eq + Hash> LshIndex<K> {
         let mut removed = false;
         for band in 0..self.bands {
             let bucket = self.band_hash(band, signature);
-            let mut table = self.tables[band].write();
-            if let Some(entries) = table.get_mut(&bucket) {
-                let before = entries.len();
-                entries.retain(|k| k != key);
-                removed |= entries.len() != before;
-                if entries.is_empty() {
-                    table.remove(&bucket);
+            removed |= self.remove_bucket(band, bucket, key);
+        }
+        removed
+    }
+
+    /// Removes a key from the buckets named by precomputed band hashes
+    /// (the ids it was [`insert_hashed`](Self::insert_hashed) under).
+    /// Returns true if anything was removed.
+    ///
+    /// # Panics
+    /// Panics if `band_hashes.len() != bands`.
+    pub fn remove_hashed(&self, key: &K, band_hashes: &[u64]) -> bool {
+        self.check_band_hashes(band_hashes);
+        let mut removed = false;
+        for (band, &bucket) in band_hashes.iter().enumerate() {
+            removed |= self.remove_bucket(band, bucket, key);
+        }
+        removed
+    }
+
+    fn remove_bucket(&self, band: usize, bucket: u64, key: &K) -> bool {
+        let mut table = self.tables[band].write();
+        let Some(entries) = table.get_mut(&bucket) else {
+            return false;
+        };
+        let before = entries.len();
+        entries.retain(|k| k != key);
+        let removed = entries.len() != before;
+        if entries.is_empty() {
+            table.remove(&bucket);
+        }
+        removed
+    }
+
+    /// Validates a precomputed band-hash slice.
+    fn check_band_hashes(&self, band_hashes: &[u64]) {
+        assert!(
+            band_hashes.len() == self.bands,
+            "got {} band hashes, index has {} bands",
+            band_hashes.len(),
+            self.bands
+        );
+    }
+}
+
+impl<K: Clone + Eq + Hash + Ord> LshIndex<K> {
+    /// All distinct key pairs sharing at least one bucket — the LSH
+    /// candidate set of an all-pairs similarity sweep, generated in one
+    /// pass over the bucket tables instead of one query per key.
+    ///
+    /// Pairs are unordered, reported once (`left < right`), and sorted
+    /// for deterministic downstream verification. The cost is
+    /// `Σ bucket_len²` over all buckets; a well-tuned banding keeps
+    /// buckets near-singleton for dissimilar keys.
+    pub fn candidate_pairs(&self) -> Vec<(K, K)> {
+        let mut pairs = HashSet::new();
+        for table in self.tables.iter() {
+            let table = table.read();
+            for entries in table.values() {
+                for (i, a) in entries.iter().enumerate() {
+                    for b in &entries[i + 1..] {
+                        let pair = if a < b {
+                            (a.clone(), b.clone())
+                        } else {
+                            (b.clone(), a.clone())
+                        };
+                        pairs.insert(pair);
+                    }
                 }
             }
         }
-        removed
+        let mut pairs: Vec<(K, K)> = pairs.into_iter().collect();
+        pairs.sort_unstable();
+        pairs
     }
 }
 
@@ -266,6 +510,102 @@ mod tests {
             let candidates = index.query(sketch.registers());
             assert!(candidates.contains(&(i as u64)), "doc {i} lost");
         }
+    }
+
+    #[test]
+    fn query_deduplicates_multi_band_collisions() {
+        // Regression test: identical signatures collide in *every* band,
+        // so without source-level dedup each key would be reported once
+        // per band. Every query path must return it exactly once.
+        let index: LshIndex<u32> = LshIndex::new(16, 4).unwrap();
+        let s = sketch_of(0..500);
+        index.insert(7, s.registers());
+        assert_eq!(index.len(), 16, "stored in all 16 bands");
+        assert_eq!(index.query(s.registers()), vec![7]);
+        assert_eq!(index.query_multiprobe(s.registers()), vec![7]);
+        assert_eq!(index.query_batch(&[s.registers()]), vec![vec![7]]);
+        let mut hashes = Vec::new();
+        index.band_hashes_into(s.registers(), &mut hashes);
+        let mut out = vec![99]; // stale contents must be cleared
+        index.query_hashed_into(&hashes, &mut out);
+        assert_eq!(out, vec![7]);
+    }
+
+    #[test]
+    fn hashed_paths_match_signature_paths() {
+        let index: LshIndex<u32> = LshIndex::new(8, 8).unwrap();
+        let a = sketch_of(0..1000);
+        let b = sketch_of(100..1100);
+        let mut hashes = Vec::new();
+        index.band_hashes_into(a.registers(), &mut hashes);
+        index.insert_hashed(1, &hashes);
+        index.insert(2, b.registers());
+        // A hashed insert is indistinguishable from a signature insert.
+        let mut hashed_result = Vec::new();
+        index.query_hashed_into(&hashes, &mut hashed_result);
+        assert_eq!(index.query(a.registers()), hashed_result);
+        assert!(index.query(a.registers()).contains(&1));
+        // Hashed removal under the same bucket ids.
+        assert!(index.remove_hashed(&1, &hashes));
+        assert!(!index.query(a.registers()).contains(&1));
+        assert!(!index.remove_hashed(&1, &hashes));
+    }
+
+    #[test]
+    fn query_batch_matches_individual_queries() {
+        let index: LshIndex<u64> = LshIndex::new(16, 8).unwrap();
+        let sketches: Vec<_> = (0..20u64)
+            .map(|i| sketch_of(i * 400..i * 400 + 3000))
+            .collect();
+        for (i, s) in sketches.iter().enumerate() {
+            index.insert(i as u64, s.registers());
+        }
+        let signatures: Vec<&[u32]> = sketches.iter().map(|s| s.registers()).collect();
+        let batched = index.query_batch(&signatures);
+        for (s, batch) in sketches.iter().zip(&batched) {
+            assert_eq!(&index.query(s.registers()), batch);
+        }
+    }
+
+    #[test]
+    fn multiprobe_recovers_single_register_near_miss() {
+        // One band over all registers: any register mismatch kills the
+        // exact query, but a single ±1 register difference is exactly
+        // what one multi-probe perturbation reaches.
+        let index: LshIndex<&str> = LshIndex::new(1, 256).unwrap();
+        let stored = sketch_of(0..10_000);
+        index.insert("doc", stored.registers());
+        let mut probe_sig = stored.registers().to_vec();
+        probe_sig[17] += 1;
+        assert!(index.query(&probe_sig).is_empty(), "exact match must miss");
+        assert_eq!(index.query_multiprobe(&probe_sig), vec!["doc"]);
+        // And the unperturbed signature still matches via the base probe.
+        assert_eq!(index.query_multiprobe(stored.registers()), vec!["doc"]);
+    }
+
+    #[test]
+    fn candidate_pairs_covers_bucket_cohabitants() {
+        let index: LshIndex<u32> = LshIndex::new(32, 8).unwrap();
+        // Two near-duplicate clusters and one isolated key.
+        for (key, range) in [
+            (0u32, 0..10_000u64),
+            (1, 500..10_500),
+            (10, 5_000_000..5_010_000),
+            (11, 5_000_500..5_010_500),
+            (99, 900_000_000..900_010_000),
+        ] {
+            index.insert(key, sketch_of(range).registers());
+        }
+        let pairs = index.candidate_pairs();
+        assert!(pairs.contains(&(0, 1)), "pairs: {pairs:?}");
+        assert!(pairs.contains(&(10, 11)), "pairs: {pairs:?}");
+        assert!(!pairs.contains(&(0, 10)));
+        // Deduplicated (each pair once, canonical order) and sorted.
+        let mut sorted = pairs.clone();
+        sorted.sort_unstable();
+        sorted.dedup();
+        assert_eq!(pairs, sorted);
+        assert!(pairs.iter().all(|(a, b)| a < b));
     }
 
     #[test]

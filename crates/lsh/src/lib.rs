@@ -26,6 +26,8 @@
 //! assert!(candidates.contains(&0)); // the near-duplicate is found
 //! ```
 
+pub mod banding;
 pub mod index;
 
+pub use banding::Banding;
 pub use index::{collision_curve, LshConfigError, LshIndex};

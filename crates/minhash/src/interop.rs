@@ -7,14 +7,30 @@
 //! (§1.2), so it is deliberately kept off the unified estimator surface.
 //! [`crate::BBitSignature`] is a derived, non-insertable signature and
 //! stays outside the trait layer entirely.
+//!
+//! All three insertable sketches implement [`Signature`] — their
+//! components fold to 32-bit LSH registers with the classic MinHash
+//! collision probability `P(equal) ≈ J`.
 
 use crate::classic::{IncompatibleMinHash, MinHash};
 use crate::oph::{IncompatibleOph, OnePermutationHashing};
 use crate::superminhash::{IncompatibleSuperMinHash, SuperMinHash};
 use sketch_core::{
-    BatchInsert, CardinalityEstimator, JointEstimator, JointQuantities, Mergeable, Sketch,
+    BatchInsert, CardinalityEstimator, JointEstimator, JointQuantities, Mergeable, Signature,
+    Sketch,
 };
 use sketch_rand::hash_bytes;
+
+/// Folds a 64-bit component value to a 32-bit signature register.
+///
+/// Equal components stay equal; unequal components collide with
+/// probability 2⁻³² — negligible against the Jaccard-driven collision
+/// rates banding LSH operates on, so `P(register equal) ≈ J` still holds
+/// for the folded signature.
+#[inline]
+fn fold_component(value: u64) -> u32 {
+    (value ^ (value >> 32)) as u32
+}
 
 impl Sketch for MinHash {
     fn insert_u64(&mut self, element: u64) {
@@ -55,6 +71,23 @@ impl JointEstimator for MinHash {
     fn joint(&self, other: &Self) -> Result<JointQuantities, IncompatibleMinHash> {
         self.estimate_joint(other)
     }
+}
+
+impl Signature for MinHash {
+    fn signature_len(&self) -> usize {
+        self.m()
+    }
+
+    /// Each 64-bit component folds to one 32-bit register; `u64::MAX`
+    /// (never updated) folds consistently, so two empty sketches still
+    /// agree everywhere.
+    fn signature_into(&self, out: &mut Vec<u32>) {
+        out.clear();
+        out.extend(self.values().iter().map(|&v| fold_component(v)));
+    }
+
+    // Default `register_collision_probability` (P = J) is the exact
+    // MinHash collision probability.
 }
 
 impl Sketch for SuperMinHash {
@@ -103,6 +136,20 @@ impl JointEstimator for SuperMinHash {
     }
 }
 
+impl Signature for SuperMinHash {
+    fn signature_len(&self) -> usize {
+        self.m()
+    }
+
+    /// Components are `f64` ranks-plus-fractions; equal sets produce
+    /// bit-identical values, so folding the IEEE-754 bits preserves the
+    /// `P(register equal) ≈ J` collision behavior.
+    fn signature_into(&self, out: &mut Vec<u32>) {
+        out.clear();
+        out.extend(self.values().iter().map(|&v| fold_component(v.to_bits())));
+    }
+}
+
 impl Sketch for OnePermutationHashing {
     fn insert_u64(&mut self, element: u64) {
         OnePermutationHashing::insert_u64(self, element);
@@ -127,6 +174,21 @@ impl Mergeable for OnePermutationHashing {
 
     fn merge_from(&mut self, other: &Self) -> Result<(), IncompatibleOph> {
         self.merge(other)
+    }
+}
+
+impl Signature for OnePermutationHashing {
+    fn signature_len(&self) -> usize {
+        self.m()
+    }
+
+    /// Raw (non-densified) bins; empty bins (`u64::MAX`) fold
+    /// consistently. For small sets many bins are empty on both sides,
+    /// which *raises* register agreement — harmless for candidate
+    /// generation, where extra collisions only add verification work.
+    fn signature_into(&self, out: &mut Vec<u32>) {
+        out.clear();
+        out.extend(self.values().iter().map(|&v| fold_component(v)));
     }
 }
 

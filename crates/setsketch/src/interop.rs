@@ -5,10 +5,12 @@
 //! benchmarks, cross-family experiments) without giving up any of the
 //! inherent API.
 
+use crate::locality::collision_probability_bounds;
 use crate::sequence::ValueSequence;
 use crate::sketch::{IncompatibleSketches, SetSketch};
 use sketch_core::{
-    BatchInsert, CardinalityEstimator, JointEstimator, JointQuantities, Mergeable, Sketch,
+    BatchInsert, CardinalityEstimator, JointEstimator, JointQuantities, Mergeable, Signature,
+    Sketch,
 };
 use sketch_rand::hash_bytes;
 
@@ -61,6 +63,33 @@ impl<S: ValueSequence> Mergeable for SetSketch<S> {
 impl<S: ValueSequence> CardinalityEstimator for SetSketch<S> {
     fn cardinality(&self) -> f64 {
         self.estimate_cardinality()
+    }
+}
+
+impl<S: ValueSequence> Signature for SetSketch<S> {
+    fn signature_len(&self) -> usize {
+        self.m()
+    }
+
+    /// SetSketch registers *are* the LSH signature (paper §3.3): no
+    /// reduction step, the m registers are copied as-is.
+    fn signature_into(&self, out: &mut Vec<u32>) {
+        out.clear();
+        out.extend_from_slice(self.registers());
+    }
+
+    /// The §3.3 *lower* collision-probability bound
+    /// `log_b(1 + J(b−1))`, valid for every cardinality ratio — using
+    /// the lower bound keeps banding auto-tuners conservative (the true
+    /// register agreement, and hence recall, can only be higher).
+    fn register_collision_probability(&self, jaccard: f64) -> f64 {
+        collision_probability_bounds(self.config().b(), jaccard).0
+    }
+
+    /// Registers are ordinal `⌊1 − log_b h⌋` values: ±1 is the nearest
+    /// miss, so multi-probe queries pay off.
+    fn ordinal_registers(&self) -> bool {
+        true
     }
 }
 

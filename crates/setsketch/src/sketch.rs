@@ -113,6 +113,13 @@ pub struct SetSketch<S: ValueSequence> {
     /// the O(m) register scan is the cheaper estimator, so the vector
     /// stays empty and estimation falls back to scanning.
     histogram: Vec<u32>,
+    /// Reusable hash buffer of the batched insert paths
+    /// ([`insert_batch`](Self::insert_batch) / [`extend`](Self::extend)):
+    /// the batch is hashed, sorted and deduplicated in here, so steady
+    /// ingest (e.g. through a sketch store) allocates once per sketch
+    /// instead of once per batch. Always left empty between calls, so
+    /// clones stay cheap and state comparisons are unaffected.
+    batch_scratch: Vec<u64>,
 }
 
 /// True when a configuration's register scale is dense enough that the
@@ -157,6 +164,7 @@ impl<S: ValueSequence> SetSketch<S> {
             k_low: 0,
             modifications: 0,
             histogram,
+            batch_scratch: Vec::new(),
         }
     }
 
@@ -244,7 +252,10 @@ impl<S: ValueSequence> SetSketch<S> {
     pub fn extend<I: IntoIterator<Item = u64>>(&mut self, elements: I) {
         let seed = self.seed;
         let mut elements = elements.into_iter();
-        let mut hashes: Vec<u64> = Vec::new();
+        // The scratch buffer is taken out of `self` for the duration so
+        // the chunk loop can borrow `self` mutably; it goes back (empty,
+        // capacity retained) when the stream is drained.
+        let mut hashes = std::mem::take(&mut self.batch_scratch);
         loop {
             hashes.clear();
             hashes.extend(
@@ -254,10 +265,12 @@ impl<S: ValueSequence> SetSketch<S> {
                     .map(|e| hash_u64(e, seed)),
             );
             if hashes.is_empty() {
-                return;
+                break;
             }
             self.insert_hashes(&mut hashes);
         }
+        hashes.clear();
+        self.batch_scratch = hashes;
     }
 
     /// Chunk size of [`extend`](Self::extend)'s streaming batch
@@ -272,10 +285,17 @@ impl<S: ValueSequence> SetSketch<S> {
     /// and the `K_low` lower-bound early exit (paper §2.2) — which only
     /// tightens as earlier batch elements raise the registers — discards
     /// most remaining elements after a single comparison.
+    ///
+    /// The hash buffer is the sketch's own reusable scratch
+    /// allocation, so steady batched ingest does not allocate per call.
     pub fn insert_batch(&mut self, elements: &[u64]) {
         let seed = self.seed;
-        let mut hashes: Vec<u64> = elements.iter().map(|&e| hash_u64(e, seed)).collect();
+        let mut hashes = std::mem::take(&mut self.batch_scratch);
+        hashes.clear();
+        hashes.extend(elements.iter().map(|&e| hash_u64(e, seed)));
         self.insert_hashes(&mut hashes);
+        hashes.clear();
+        self.batch_scratch = hashes;
     }
 
     /// Sorts, deduplicates and inserts pre-hashed elements.
@@ -549,6 +569,26 @@ mod tests {
         assert!(err.configs.is_some() && err.seeds.is_some());
         let message = err.to_string();
         assert!(message.contains("configurations differ") && message.contains("seeds differ"));
+    }
+
+    #[test]
+    fn batch_scratch_is_reused_and_left_empty() {
+        let mut sketch = SetSketch1::new(config_small(), 1);
+        sketch.insert_batch(&(0..1000).collect::<Vec<_>>());
+        assert!(sketch.batch_scratch.is_empty());
+        let cap = sketch.batch_scratch.capacity();
+        assert!(cap >= 1000, "first batch should size the scratch buffer");
+        sketch.insert_batch(&(1000..1500).collect::<Vec<_>>());
+        assert!(
+            sketch.batch_scratch.capacity() >= cap,
+            "smaller follow-up batches must reuse, not shrink, the buffer"
+        );
+        assert!(sketch.batch_scratch.is_empty());
+        // The scratch is empty at rest, so clones don't copy batch data
+        // and state equality is unaffected.
+        let clone = sketch.clone();
+        assert_eq!(clone, sketch);
+        assert_eq!(clone.batch_scratch.capacity(), 0);
     }
 
     #[test]

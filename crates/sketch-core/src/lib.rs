@@ -211,6 +211,65 @@ pub trait Mergeable: Sized {
     }
 }
 
+/// Extraction of a locality-sensitive register signature from a sketch
+/// state, for use as banding-LSH input (paper §3.3).
+///
+/// The SetSketch paper shows that register *equality* between two
+/// sketches happens with a probability that is a monotonic function of
+/// the Jaccard similarity of the underlying sets — the defining property
+/// of a locality-sensitive hash family. Any sketch whose state is (or
+/// reduces to) a fixed-length array of values with that property can
+/// implement this trait and plug into the `lsh` banding index and the
+/// sketch store's similarity query engine without materializing a
+/// separate MinHash signature.
+///
+/// Implementations must be **deterministic** (equal states produce equal
+/// signatures) and **state-faithful**: two compatible sketches built from
+/// the same element stream produce identical signatures. The signature
+/// length must be constant for a given sketch configuration.
+pub trait Signature {
+    /// Number of `u32` registers in the extracted signature (constant
+    /// per configuration; typically the sketch's `m`).
+    fn signature_len(&self) -> usize;
+
+    /// Writes the signature into `out` (cleared first, then filled with
+    /// exactly [`signature_len`](Self::signature_len) registers). Taking
+    /// a caller-owned buffer lets bulk extraction over many sketches
+    /// reuse one allocation.
+    fn signature_into(&self, out: &mut Vec<u32>);
+
+    /// The extracted signature as a freshly allocated vector.
+    fn signature(&self) -> Vec<u32> {
+        let mut out = Vec::new();
+        self.signature_into(&mut out);
+        out
+    }
+
+    /// Probability (or a conservative lower bound) that one signature
+    /// register of two compatible sketches is equal, as a function of the
+    /// Jaccard similarity `jaccard` of the underlying sets.
+    ///
+    /// Banding auto-tuners use this to translate a Jaccard threshold
+    /// into band/row counts; returning a *lower* bound keeps the tuned
+    /// recall conservative. The default is the exact MinHash collision
+    /// probability `P = J`; register-scale sketches override it with
+    /// their family's bound (SetSketch: paper §3.3, eq. (14)).
+    fn register_collision_probability(&self, jaccard: f64) -> f64 {
+        jaccard
+    }
+
+    /// True when signature registers are small *ordinal* scale values —
+    /// SetSketch/GHLL-style `⌊1 − log_b h⌋` registers — where a ±1
+    /// perturbation names a plausible near-miss register state.
+    /// Multi-probe LSH queries are only worthwhile for such signatures;
+    /// for folded-hash registers (the MinHash family) a perturbed value
+    /// is just another random hash and probing it is wasted work, so
+    /// the default is `false`.
+    fn ordinal_registers(&self) -> bool {
+        false
+    }
+}
+
 /// Distinct-count estimation from a sketch state.
 pub trait CardinalityEstimator {
     /// Estimated number of distinct inserted elements.
@@ -295,6 +354,31 @@ mod tests {
                 jaccard,
             ))
         }
+    }
+
+    impl Signature for Toy {
+        fn signature_len(&self) -> usize {
+            4
+        }
+        fn signature_into(&self, out: &mut Vec<u32>) {
+            out.clear();
+            out.resize(4, 0);
+            for &e in &self.elements {
+                out[(e % 4) as usize] ^= e as u32;
+            }
+        }
+    }
+
+    #[test]
+    fn signature_default_allocates_and_matches_into() {
+        let mut toy = Toy::default();
+        toy.insert_batch(&[1, 2, 3, 9]);
+        let mut scratch = vec![99; 16]; // stale contents must be cleared
+        toy.signature_into(&mut scratch);
+        assert_eq!(scratch.len(), toy.signature_len());
+        assert_eq!(toy.signature(), scratch);
+        // MinHash-style default collision probability: identity in J.
+        assert_eq!(toy.register_collision_probability(0.37), 0.37);
     }
 
     #[test]

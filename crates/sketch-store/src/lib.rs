@@ -24,7 +24,13 @@
 //!   one union sketch;
 //! * **snapshots** — [`SketchStore::snapshot`] produces a plain-data
 //!   [`StoreSnapshot`] that serializes with serde (feature `serde`,
-//!   default-on) and restores with [`SketchStore::from_snapshot`].
+//!   default-on) and restores with [`SketchStore::from_snapshot`];
+//! * **similarity queries at scale** — [`SketchStore::similar_keys`]
+//!   (top-k) and [`SketchStore::all_pairs`] (threshold sweep) prune
+//!   candidates through an incrementally maintained banding LSH index
+//!   over the sketches' own registers (paper §3.3) and verify survivors
+//!   with the exact joint estimator in parallel — sub-quadratic where
+//!   N·(N−1)/2 [`joint`](SketchStore::joint) calls are not.
 //!
 //! ## Concurrent ingest
 //!
@@ -59,15 +65,20 @@
 #![warn(missing_docs)]
 
 mod error;
+mod query;
 mod snapshot;
 mod store;
 
 pub use error::StoreError;
+pub use query::{Neighbor, SimilarPair, SimilarityIndexInfo, DEFAULT_SIMILARITY_THRESHOLD};
 pub use snapshot::StoreSnapshot;
 pub use store::{SketchStore, DEFAULT_SHARDS};
 
-// Downstream convenience: the traits a store-bound sketch implements and
-// the joint-estimation result type.
+// Downstream convenience: the traits a store-bound sketch implements,
+// the joint-estimation result type, and the banding layout the
+// similarity index reports.
+pub use lsh::Banding;
 pub use sketch_core::{
-    BatchInsert, CardinalityEstimator, JointEstimator, JointQuantities, Mergeable, Sketch,
+    BatchInsert, CardinalityEstimator, JointEstimator, JointQuantities, Mergeable, Signature,
+    Sketch,
 };

@@ -1,0 +1,586 @@
+//! Batched cross-key similarity queries: LSH-pruned top-k and
+//! all-pairs sweeps over the store.
+//!
+//! Answering "which of my N keys are similar?" with per-pair
+//! [`joint`](SketchStore::joint) calls costs `O(N²·m)` register
+//! comparisons plus two shard-lock acquisitions per pair. This module
+//! replaces that with a three-stage engine:
+//!
+//! 1. **Candidate pruning** — stored sketches expose locality-sensitive
+//!    register signatures ([`sketch_core::Signature`], paper §3.3), kept
+//!    in a banding [`LshIndex`] whose band/row layout is auto-tuned from
+//!    the family's collision-probability bound at the query threshold
+//!    ([`Banding::tune`]). Only keys sharing a bucket become candidate
+//!    pairs.
+//! 2. **Incremental maintenance** — every store write bumps a per-key
+//!    version counter; before a query, exactly the keys whose version
+//!    moved since they were last indexed are re-banded (removed under
+//!    their stored band hashes, re-inserted under the new ones). Steady
+//!    query traffic therefore never pays a full index rebuild.
+//! 3. **Exact verification** — every surviving candidate pair is
+//!    verified with the family's *exact* joint estimator (the PR-3
+//!    `compare_counts` register kernel underneath) over a point-in-time
+//!    snapshot, fanned out across worker threads with per-worker result
+//!    buffers. The LSH stage only ever prunes; reported quantities are
+//!    identical to what an exhaustive sweep computes for the same pair.
+//!
+//! When the threshold carries no locality signal (e.g. `0.0`, where
+//! every pair must be reported), [`Banding::tune`] reports that no
+//! banding can reach the recall target and the engine transparently
+//! falls back to the exhaustive candidate set — same verification, same
+//! results, no pruning.
+
+use crate::error::StoreError;
+use crate::store::SketchStore;
+use lsh::{Banding, LshIndex};
+use sketch_core::{JointEstimator, JointQuantities, Signature};
+use std::collections::{HashMap, HashSet};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+
+/// Similarity threshold [`SketchStore::similar_keys`] tunes its index
+/// for when the caller has not chosen one explicitly: candidates with
+/// Jaccard at or above this value are found with at least the tuned
+/// recall, more dissimilar keys on a best-effort basis.
+pub const DEFAULT_SIMILARITY_THRESHOLD: f64 = 0.5;
+
+/// Recall target handed to [`Banding::tune`]: the banding stage is laid
+/// out so that a pair *at* the query threshold still becomes a
+/// candidate with this probability (more similar pairs exceed it).
+const BANDING_TARGET_RECALL: f64 = 0.98;
+
+/// Candidate pairs handed to one worker at a time during verification.
+const VERIFY_CHUNK: usize = 256;
+
+/// Cached index states, one per distinct query threshold (most recently
+/// used first). Bounding the cache keeps a service that sweeps many
+/// thresholds from hoarding band tables; alternating between a few
+/// operating points never re-tunes or re-bands.
+const MAX_CACHED_INDEXES: usize = 4;
+
+/// One of the store's lazily built, incrementally maintained similarity
+/// index states.
+pub(crate) struct SimilarityIndex {
+    /// Jaccard threshold the banding was tuned for.
+    threshold: f64,
+    /// The tuned layout; `None` when no banding reaches the recall
+    /// target at `threshold` (queries then run exhaustively).
+    banding: Option<Banding>,
+    /// The banding index itself (`None` exactly when `banding` is).
+    lsh: Option<LshIndex<String>>,
+    /// Per-key bookkeeping: the store version that was banded and the
+    /// band bucket ids it was inserted under (for O(bands) removal).
+    entries: HashMap<String, IndexedKey>,
+}
+
+struct IndexedKey {
+    version: u64,
+    band_hashes: Box<[u64]>,
+}
+
+/// A pair of store keys whose verified similarity cleared the sweep
+/// threshold, with the full exact joint estimate.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SimilarPair {
+    /// Lexicographically smaller key (the `U` side of `quantities`).
+    pub left: String,
+    /// Lexicographically larger key (the `V` side of `quantities`).
+    pub right: String,
+    /// Exact joint estimate of the pair — identical to
+    /// [`SketchStore::joint`] on the same states.
+    pub quantities: JointQuantities,
+}
+
+/// One result of a top-k query: a neighboring key and the exact joint
+/// estimate against the query key (query on the `U` side).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Neighbor {
+    /// The neighboring key.
+    pub key: String,
+    /// Exact joint estimate for (query key, this key).
+    pub quantities: JointQuantities,
+}
+
+/// Diagnostics of the current similarity index state.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SimilarityIndexInfo {
+    /// Threshold the index is tuned for.
+    pub threshold: f64,
+    /// Tuned banding, or `None` when queries at this threshold run
+    /// exhaustively.
+    pub banding: Option<Banding>,
+    /// Number of keys currently banded into the index.
+    pub indexed_keys: usize,
+}
+
+impl<S> SketchStore<S> {
+    /// Reports the **most recently used** similarity index state — its
+    /// tuned banding and coverage — or `None` if no similarity query
+    /// has run yet. (The store caches one state per queried threshold,
+    /// up to a small bound.)
+    pub fn similarity_index_info(&self) -> Option<SimilarityIndexInfo> {
+        self.similarity
+            .lock()
+            .first()
+            .map(|index| SimilarityIndexInfo {
+                threshold: index.threshold,
+                banding: index.banding,
+                indexed_keys: index.entries.len(),
+            })
+    }
+}
+
+impl<S> SketchStore<S>
+where
+    S: Signature + JointEstimator + Clone + Send + Sync,
+{
+    /// Tunes (if needed) and incrementally refreshes the similarity
+    /// index for `threshold`, without running a query. Queries do this
+    /// on demand; calling it eagerly (e.g. after a bulk load) moves the
+    /// banding work off the first query's latency.
+    ///
+    /// # Panics
+    /// Panics if `threshold` is outside `[0, 1]`.
+    pub fn build_similarity_index(&self, threshold: f64) {
+        check_threshold(threshold);
+        let mut guard = self.similarity.lock();
+        let index = self.ensure_index(&mut guard, threshold);
+        self.refresh_index(index);
+    }
+
+    /// The `k` keys most similar to `key`, with exact joint estimates.
+    ///
+    /// Candidates come from the similarity index (tuned for
+    /// [`DEFAULT_SIMILARITY_THRESHOLD`]; use
+    /// [`similar_keys_at`](Self::similar_keys_at) to tune for another
+    /// operating point) via a banding query — multi-probed for ordinal
+    /// register scales — then every candidate is verified with the
+    /// exact joint estimator against clones of just the query and
+    /// candidate sketches (the whole store is never copied). If the
+    /// index yields fewer than `k` candidates the engine falls back to
+    /// verifying every key, so a small store always produces a
+    /// complete, exact top-k.
+    ///
+    /// Results are sorted by descending Jaccard, ties broken by
+    /// ascending key; neighbors *below* the tuned threshold are
+    /// returned on a best-effort basis (the recall guarantee of the
+    /// banding only covers pairs at or above it).
+    ///
+    /// # Errors
+    /// [`StoreError::KeyNotFound`] if `key` holds no sketch,
+    /// [`StoreError::Incompatible`] if verification meets a sketch
+    /// injected with mismatched parameters.
+    pub fn similar_keys(&self, key: &str, k: usize) -> Result<Vec<Neighbor>, StoreError> {
+        self.similar_keys_at(key, k, DEFAULT_SIMILARITY_THRESHOLD)
+    }
+
+    /// [`similar_keys`](Self::similar_keys) with an explicit similarity
+    /// threshold to tune the candidate stage for.
+    ///
+    /// # Panics
+    /// Panics if `threshold` is outside `[0, 1]`.
+    pub fn similar_keys_at(
+        &self,
+        key: &str,
+        k: usize,
+        threshold: f64,
+    ) -> Result<Vec<Neighbor>, StoreError> {
+        check_threshold(threshold);
+        let candidate_keys = {
+            let mut guard = self.similarity.lock();
+            let index = self.ensure_index(&mut guard, threshold);
+            self.refresh_index(index);
+            // The signature is extracted under the shard read lock — no
+            // sketch clone inside this critical section. Multi-probing
+            // (±1 register perturbations) only names plausible near
+            // misses on ordinal register scales; folded-hash signatures
+            // use the exact banding query.
+            let probed = self.with_sketch(key, |sketch| {
+                (sketch.signature(), sketch.ordinal_registers())
+            });
+            match (&index.lsh, probed) {
+                (Some(lsh), Some((signature, true))) => Some(lsh.query_multiprobe(&signature)),
+                (Some(lsh), Some((signature, false))) => Some(lsh.query(&signature)),
+                (None, Some(_)) => None, // exhaustive fallback
+                (_, None) => return Err(StoreError::KeyNotFound(key.to_owned())),
+            }
+        };
+
+        let mut candidates = match candidate_keys {
+            Some(mut keys) => {
+                keys.retain(|candidate| candidate != key);
+                keys.sort_unstable();
+                keys
+            }
+            None => Vec::new(),
+        };
+        if candidates.len() < k {
+            // Recall floor (or exhaustive mode): too few banding
+            // candidates to fill the top-k, so verify every other key —
+            // still exact, just unpruned.
+            candidates = self.keys();
+            candidates.retain(|candidate| candidate != key);
+        }
+
+        // The verification snapshot clones only the query sketch and
+        // the candidates, never the whole store.
+        let Some(query_sketch) = self.get(key) else {
+            return Err(StoreError::KeyNotFound(key.to_owned()));
+        };
+        let mut entries: Vec<(String, S)> = Vec::with_capacity(candidates.len() + 1);
+        entries.push((key.to_owned(), query_sketch));
+        for candidate in candidates {
+            // Keys can vanish between candidate generation and cloning.
+            if let Some(sketch) = self.get(&candidate) {
+                entries.push((candidate, sketch));
+            }
+        }
+
+        let pairs: Vec<(u32, u32)> = (1..entries.len() as u32).map(|i| (0, i)).collect();
+        // No threshold filter: top-k keeps its best-effort tail below
+        // the tuned threshold.
+        let mut hits = verify_candidates(&entries, Candidates::List(&pairs), 0.0)?;
+        hits.sort_unstable_by(|a, b| {
+            b.2.jaccard
+                .total_cmp(&a.2.jaccard)
+                .then_with(|| entries[a.1 as usize].0.cmp(&entries[b.1 as usize].0))
+        });
+        hits.truncate(k);
+        Ok(hits
+            .into_iter()
+            .map(|(_, i, quantities)| Neighbor {
+                key: entries[i as usize].0.clone(),
+                quantities,
+            })
+            .collect())
+    }
+
+    /// Every pair of keys whose verified Jaccard similarity is at least
+    /// `threshold`, with exact joint estimates — the LSH-pruned sweep.
+    ///
+    /// Candidate pairs are keys co-located in at least one band bucket
+    /// of the (incrementally refreshed) similarity index; each
+    /// candidate is then verified with the exact joint estimator over a
+    /// point-in-time snapshot, in parallel. Reported pairs therefore
+    /// carry exactly the quantities
+    /// [`all_pairs_exhaustive`](Self::all_pairs_exhaustive) computes
+    /// for them; the LSH stage can only *miss* pairs, with probability
+    /// bounded by the tuned recall (98 % at the threshold, higher
+    /// above it). At thresholds where no banding meets the recall
+    /// target (e.g. `0.0`) the sweep transparently runs exhaustively.
+    ///
+    /// Results are sorted by `(left, right)`; each pair appears once
+    /// with `left < right`.
+    ///
+    /// # Panics
+    /// Panics if `threshold` is outside `[0, 1]`.
+    ///
+    /// # Errors
+    /// [`StoreError::Incompatible`] if verification meets a sketch
+    /// injected with mismatched parameters.
+    pub fn all_pairs(&self, threshold: f64) -> Result<Vec<SimilarPair>, StoreError> {
+        check_threshold(threshold);
+        let candidate_keys = {
+            let mut guard = self.similarity.lock();
+            let index = self.ensure_index(&mut guard, threshold);
+            self.refresh_index(index);
+            index.lsh.as_ref().map(|lsh| lsh.candidate_pairs())
+        };
+
+        let entries = self.sorted_entries();
+        let hits = match candidate_keys {
+            Some(candidates) => {
+                let position: HashMap<&str, u32> = entries
+                    .iter()
+                    .enumerate()
+                    .map(|(i, (k, _))| (k.as_str(), i as u32))
+                    .collect();
+                let pairs: Vec<(u32, u32)> = candidates
+                    .iter()
+                    .filter_map(|(a, b)| {
+                        // Keys can vanish between index refresh and
+                        // snapshot; verification only sees live pairs.
+                        Some((*position.get(a.as_str())?, *position.get(b.as_str())?))
+                    })
+                    .collect();
+                verify_candidates(&entries, Candidates::List(&pairs), threshold)?
+            }
+            None => verify_candidates(&entries, Candidates::all(&entries), threshold)?,
+        };
+        Ok(pairs_from_hits(&entries, hits))
+    }
+
+    /// The exhaustive reference sweep: verifies **every** pair of keys
+    /// with the exact joint estimator (no LSH stage) and reports those
+    /// at or above `threshold`. Same verification, same output format
+    /// and order as [`all_pairs`](Self::all_pairs) — this is the
+    /// ground-truth baseline the pruned sweep's recall and speedup are
+    /// measured against, and the right tool when *completeness* matters
+    /// more than latency.
+    ///
+    /// # Panics
+    /// Panics if `threshold` is outside `[0, 1]`.
+    ///
+    /// # Errors
+    /// [`StoreError::Incompatible`] if verification meets a sketch
+    /// injected with mismatched parameters.
+    pub fn all_pairs_exhaustive(&self, threshold: f64) -> Result<Vec<SimilarPair>, StoreError> {
+        check_threshold(threshold);
+        let entries = self.sorted_entries();
+        let hits = verify_candidates(&entries, Candidates::all(&entries), threshold)?;
+        Ok(pairs_from_hits(&entries, hits))
+    }
+
+    /// Point-in-time snapshot of all entries, sorted by key.
+    fn sorted_entries(&self) -> Vec<(String, S)> {
+        self.snapshot().entries.into_iter().collect()
+    }
+
+    /// Returns the cached index state for `threshold`, creating and
+    /// tuning it on first use. States are kept most-recently-used
+    /// first, one per distinct threshold (at most
+    /// [`MAX_CACHED_INDEXES`]), so callers alternating between a few
+    /// operating points — e.g. `all_pairs(0.7)` interleaved with
+    /// default-threshold `similar_keys` — never tear down and re-band
+    /// the whole index on a threshold switch.
+    fn ensure_index<'a>(
+        &self,
+        cache: &'a mut Vec<SimilarityIndex>,
+        threshold: f64,
+    ) -> &'a mut SimilarityIndex {
+        if let Some(at) = cache.iter().position(|index| index.threshold == threshold) {
+            let index = cache.remove(at);
+            cache.insert(0, index);
+        } else {
+            // Tune the banding from the family's locality bound at the
+            // threshold, probed on an empty factory sketch (the
+            // collision probability is a configuration property, not a
+            // state one).
+            let probe = self.make_sketch();
+            let p = probe.register_collision_probability(threshold);
+            let banding = Banding::tune(probe.signature_len(), p, BANDING_TARGET_RECALL);
+            let lsh = banding.map(|b| {
+                LshIndex::new(b.bands, b.rows).expect("tuned banding has bands, rows >= 1")
+            });
+            cache.insert(
+                0,
+                SimilarityIndex {
+                    threshold,
+                    banding,
+                    lsh,
+                    entries: HashMap::new(),
+                },
+            );
+            cache.truncate(MAX_CACHED_INDEXES);
+        }
+        &mut cache[0]
+    }
+
+    /// Re-bands exactly the keys whose version stamp moved since they
+    /// were last indexed, and drops index entries for removed keys.
+    fn refresh_index(&self, index: &mut SimilarityIndex) {
+        let SimilarityIndex { lsh, entries, .. } = index;
+        let Some(lsh) = lsh.as_ref() else {
+            return; // exhaustive mode: nothing to maintain
+        };
+        let mut live_count = 0usize;
+        let mut signature: Vec<u32> = Vec::new();
+        let mut band_hashes: Vec<u64> = Vec::new();
+        for shard in self.shards() {
+            let guard = shard.read();
+            live_count += guard.len();
+            for (key, slot) in guard.iter() {
+                if entries.get(key).is_some_and(|e| e.version == slot.version) {
+                    continue;
+                }
+                slot.sketch.signature_into(&mut signature);
+                lsh.band_hashes_into(&signature, &mut band_hashes);
+                if let Some(old) = entries.get(key) {
+                    lsh.remove_hashed(key, &old.band_hashes);
+                }
+                lsh.insert_hashed(key.clone(), &band_hashes);
+                entries.insert(
+                    key.clone(),
+                    IndexedKey {
+                        version: slot.version,
+                        band_hashes: band_hashes.clone().into_boxed_slice(),
+                    },
+                );
+            }
+        }
+        // After the sweep `entries` covers every live key, so the counts
+        // only disagree when keys were removed — the warm path (nothing
+        // removed) never clones a key string for removal detection.
+        if entries.len() != live_count {
+            let mut live: HashSet<String> = HashSet::with_capacity(live_count);
+            for shard in self.shards() {
+                live.extend(shard.read().keys().cloned());
+            }
+            entries.retain(|key, entry| {
+                live.contains(key) || {
+                    lsh.remove_hashed(key, &entry.band_hashes);
+                    false
+                }
+            });
+        }
+    }
+}
+
+/// Resolves verified index-pair hits back to keyed [`SimilarPair`]s.
+fn pairs_from_hits<S>(
+    entries: &[(String, S)],
+    hits: Vec<(u32, u32, JointQuantities)>,
+) -> Vec<SimilarPair> {
+    hits.into_iter()
+        .map(|(a, b, quantities)| SimilarPair {
+            left: entries[a as usize].0.clone(),
+            right: entries[b as usize].0.clone(),
+            quantities,
+        })
+        .collect()
+}
+
+/// Validates a similarity threshold.
+fn check_threshold(threshold: f64) {
+    assert!(
+        (0.0..=1.0).contains(&threshold),
+        "similarity threshold must be within [0, 1], got {threshold}"
+    );
+}
+
+/// The candidate set of a verification run: an explicit pair list (the
+/// pruned path) or the implicit triangle of all `(i, j)`, `i < j` pairs
+/// over `n` entries (the exhaustive path, never materialized — at
+/// N = 10k the explicit list would be ~50M tuples).
+#[derive(Clone, Copy)]
+enum Candidates<'a> {
+    List(&'a [(u32, u32)]),
+    Triangle(u32),
+}
+
+impl Candidates<'_> {
+    /// The exhaustive candidate set over `entries`.
+    fn all<T>(entries: &[T]) -> Candidates<'static> {
+        let n = u32::try_from(entries.len())
+            .expect("store sizes beyond u32 keys are unsupported in sweeps");
+        Candidates::Triangle(n)
+    }
+
+    /// Number of work units handed out to verification workers: chunks
+    /// of the list, or one triangle row (`(i, i+1..n)`) each.
+    fn units(&self) -> usize {
+        match *self {
+            Candidates::List(pairs) => pairs.len().div_ceil(VERIFY_CHUNK),
+            Candidates::Triangle(n) => (n as usize).saturating_sub(1),
+        }
+    }
+
+    /// Runs `visit` on every pair of one work unit, stopping early on
+    /// error.
+    fn for_each_in_unit(
+        &self,
+        unit: usize,
+        visit: &mut impl FnMut(u32, u32) -> Result<(), StoreError>,
+    ) -> Result<(), StoreError> {
+        match *self {
+            Candidates::List(pairs) => {
+                let start = unit * VERIFY_CHUNK;
+                for &(a, b) in &pairs[start..(start + VERIFY_CHUNK).min(pairs.len())] {
+                    visit(a, b)?;
+                }
+            }
+            Candidates::Triangle(n) => {
+                let a = unit as u32;
+                for b in a + 1..n {
+                    visit(a, b)?;
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Verifies candidate pairs with the exact joint estimator and keeps
+/// those at or above `threshold`, fanned out across worker threads.
+///
+/// Workers claim work units from an atomic cursor and collect hits into
+/// per-worker buffers, so there is no shared mutable state on the hot
+/// path; results are merged and sorted by index pair afterwards, making
+/// the output deterministic regardless of scheduling. The estimator is
+/// the family's exact one — the same code path as
+/// [`SketchStore::joint`] — so a pair's reported quantities are
+/// independent of how it became a candidate.
+fn verify_candidates<S: JointEstimator + Sync>(
+    entries: &[(String, S)],
+    candidates: Candidates<'_>,
+    threshold: f64,
+) -> Result<Vec<(u32, u32, JointQuantities)>, StoreError> {
+    let verify_into =
+        |a: u32, b: u32, hits: &mut Vec<(u32, u32, JointQuantities)>| -> Result<(), StoreError> {
+            let quantities = entries[a as usize]
+                .1
+                .joint(&entries[b as usize].1)
+                .map_err(StoreError::incompatible)?;
+            if quantities.jaccard >= threshold {
+                hits.push((a, b, quantities));
+            }
+            Ok(())
+        };
+
+    let units = candidates.units();
+    let workers = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+        .min(units);
+
+    let mut hits = if workers <= 1 {
+        let mut hits = Vec::new();
+        for unit in 0..units {
+            candidates.for_each_in_unit(unit, &mut |a, b| verify_into(a, b, &mut hits))?;
+        }
+        hits
+    } else {
+        let cursor = AtomicUsize::new(0);
+        let failed = AtomicBool::new(false);
+        std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..workers)
+                .map(|_| {
+                    scope.spawn(|| {
+                        // Per-worker scratch: hits accumulate locally and
+                        // are merged once at the end.
+                        let mut local = Vec::new();
+                        loop {
+                            if failed.load(Ordering::Relaxed) {
+                                break;
+                            }
+                            let unit = cursor.fetch_add(1, Ordering::Relaxed);
+                            if unit >= units {
+                                break;
+                            }
+                            let run = candidates
+                                .for_each_in_unit(unit, &mut |a, b| verify_into(a, b, &mut local));
+                            if let Err(error) = run {
+                                failed.store(true, Ordering::Relaxed);
+                                return Err(error);
+                            }
+                        }
+                        Ok(local)
+                    })
+                })
+                .collect();
+            let mut hits = Vec::new();
+            let mut first_error = None;
+            for handle in handles {
+                match handle.join().expect("verification worker panicked") {
+                    Ok(local) => hits.extend(local),
+                    Err(error) => first_error = first_error.or(Some(error)),
+                }
+            }
+            match first_error {
+                None => Ok(hits),
+                Some(error) => Err(error),
+            }
+        })?
+    };
+    hits.sort_unstable_by_key(|&(a, b, _)| (a, b));
+    Ok(hits)
+}

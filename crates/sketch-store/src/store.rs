@@ -1,13 +1,33 @@
 //! The sharded concurrent sketch registry.
 
 use crate::error::StoreError;
+use crate::query::SimilarityIndex;
 use crate::snapshot::StoreSnapshot;
-use parking_lot::RwLock;
+use parking_lot::{Mutex, RwLock};
 use sketch_core::{
     BatchInsert, CardinalityEstimator, JointEstimator, JointQuantities, Mergeable, Sketch,
 };
 use sketch_rand::hash_bytes;
 use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// A stored sketch together with its write version.
+///
+/// Every mutating access to the key (ingest, insert, put, restore)
+/// stamps the slot with a fresh value of the store's monotonic write
+/// counter, which is all the bookkeeping ingest pays for
+/// similarity-index maintenance: the query engine re-bands exactly the
+/// keys whose version moved since they were last indexed. The counter
+/// is store-global, so a key removed and later re-created never repeats
+/// an old version (the index relies on inequality to detect staleness).
+#[derive(Debug)]
+pub(crate) struct Slot<S> {
+    pub(crate) sketch: S,
+    pub(crate) version: u64,
+}
+
+/// One shard: a lock-guarded map from key to its versioned slot.
+pub(crate) type Shard<S> = RwLock<HashMap<String, Slot<S>>>;
 
 /// Seed of the key-routing hash (independent of any sketch's seed).
 const ROUTING_SEED: u64 = 0x5354_4f52_4b45_5953; // "STORKEYS"
@@ -54,8 +74,15 @@ pub const DEFAULT_SHARDS: usize = 16;
 /// assert!((global - 15_000.0).abs() / 15_000.0 < 0.1);
 /// ```
 pub struct SketchStore<S> {
-    shards: Box<[RwLock<HashMap<String, S>>]>,
+    shards: Box<[Shard<S>]>,
     factory: Box<dyn Fn() -> S + Send + Sync>,
+    /// Monotonic write counter feeding the slots' version stamps.
+    write_epoch: AtomicU64,
+    /// Lazily built banding LSH indexes (most recently used first, one
+    /// per queried threshold) over the stored sketches' signatures,
+    /// maintained incrementally by the similarity query engine (see
+    /// [`crate::query`]).
+    pub(crate) similarity: Mutex<Vec<SimilarityIndex>>,
 }
 
 impl<S> SketchStore<S> {
@@ -81,7 +108,26 @@ impl<S> SketchStore<S> {
         Self {
             shards,
             factory: Box::new(factory),
+            write_epoch: AtomicU64::new(0),
+            similarity: Mutex::new(Vec::new()),
         }
+    }
+
+    /// A fresh, never-repeated version stamp for a mutated slot.
+    #[inline]
+    fn next_version(&self) -> u64 {
+        self.write_epoch.fetch_add(1, Ordering::Relaxed) + 1
+    }
+
+    /// Builds an empty sketch through the store's factory (the
+    /// configuration every stored sketch shares).
+    pub(crate) fn make_sketch(&self) -> S {
+        (self.factory)()
+    }
+
+    /// The shard array, for the query engine's version sweep.
+    pub(crate) fn shards(&self) -> &[Shard<S>] {
+        &self.shards
     }
 
     /// Number of shards.
@@ -99,7 +145,7 @@ impl<S> SketchStore<S> {
     }
 
     #[inline]
-    fn shard(&self, key: &str) -> &RwLock<HashMap<String, S>> {
+    fn shard(&self, key: &str) -> &Shard<S> {
         &self.shards[self.shard_index(key)]
     }
 
@@ -119,7 +165,15 @@ impl<S> SketchStore<S> {
         self.shard(key).read().contains_key(key)
     }
 
-    /// All keys, sorted (point-in-time per shard).
+    /// All keys in **ascending lexicographic order** (point-in-time per
+    /// shard).
+    ///
+    /// Internally keys live in hash-ordered shard maps, so the raw
+    /// iteration order would vary with the shard count and hasher; this
+    /// method sorts before returning, and the order is guaranteed —
+    /// callers may rely on it for deterministic sweeps and diffs. The
+    /// same guarantee holds for [`snapshot`](Self::snapshot), whose
+    /// entries are an ordered map keyed the same way.
     pub fn keys(&self) -> Vec<String> {
         let mut keys: Vec<String> = self
             .shards
@@ -133,19 +187,23 @@ impl<S> SketchStore<S> {
     /// Runs a closure against the sketch under `key` without cloning it
     /// (the shard stays read-locked for the duration).
     pub fn with_sketch<R>(&self, key: &str, op: impl FnOnce(&S) -> R) -> Option<R> {
-        self.shard(key).read().get(key).map(op)
+        self.shard(key).read().get(key).map(|slot| op(&slot.sketch))
     }
 
     /// Stores `sketch` under `key`, replacing and returning any previous
     /// sketch. This bypasses the factory — use it to inject states built
     /// elsewhere (e.g. shipped from worker processes).
     pub fn put(&self, key: &str, sketch: S) -> Option<S> {
-        self.shard(key).write().insert(key.to_owned(), sketch)
+        let version = self.next_version();
+        self.shard(key)
+            .write()
+            .insert(key.to_owned(), Slot { sketch, version })
+            .map(|slot| slot.sketch)
     }
 
     /// Removes and returns the sketch under `key`.
     pub fn remove(&self, key: &str) -> Option<S> {
-        self.shard(key).write().remove(key)
+        self.shard(key).write().remove(key).map(|slot| slot.sketch)
     }
 
     /// Removes every sketch.
@@ -169,7 +227,7 @@ impl<S> SketchStore<S> {
             let shard = self.shards[ia].read();
             let a = shard.get(key_a).ok_or_else(|| not_found(key_a))?;
             let b = shard.get(key_b).ok_or_else(|| not_found(key_b))?;
-            Ok(op(a, b))
+            Ok(op(&a.sketch, &b.sketch))
         } else {
             // Lock in ascending shard order; this is the only place two
             // shard locks are held at once, so the order is globally
@@ -184,7 +242,7 @@ impl<S> SketchStore<S> {
             };
             let a = shard_a.get(key_a).ok_or_else(|| not_found(key_a))?;
             let b = shard_b.get(key_b).ok_or_else(|| not_found(key_b))?;
-            Ok(op(a, b))
+            Ok(op(&a.sketch, &b.sketch))
         }
     }
 }
@@ -192,13 +250,23 @@ impl<S> SketchStore<S> {
 impl<S> SketchStore<S> {
     /// Write-locks the key's shard and runs `op` on its sketch, creating
     /// it through the factory on first use. The existing-key fast path
-    /// avoids allocating an owned key string.
+    /// avoids allocating an owned key string. Every call restamps the
+    /// slot's version so the similarity index can re-band exactly the
+    /// keys that changed.
     fn with_entry(&self, key: &str, op: impl FnOnce(&mut S)) {
         let mut shard = self.shard(key).write();
         if !shard.contains_key(key) {
-            shard.insert(key.to_owned(), (self.factory)());
+            shard.insert(
+                key.to_owned(),
+                Slot {
+                    sketch: (self.factory)(),
+                    version: 0,
+                },
+            );
         }
-        op(shard.get_mut(key).expect("present or just inserted"));
+        let slot = shard.get_mut(key).expect("present or just inserted");
+        slot.version = self.next_version();
+        op(&mut slot.sketch);
     }
 }
 
@@ -228,17 +296,22 @@ impl<S: BatchInsert> SketchStore<S> {
 impl<S: Clone> SketchStore<S> {
     /// Clones the sketch under `key` out of the store.
     pub fn get(&self, key: &str) -> Option<S> {
-        self.shard(key).read().get(key).cloned()
+        self.shard(key)
+            .read()
+            .get(key)
+            .map(|slot| slot.sketch.clone())
     }
 
     /// Takes a point-in-time snapshot of the whole store: each shard is
     /// copied under its read lock, so every *key* is internally
-    /// consistent (writers may interleave between shards).
+    /// consistent (writers may interleave between shards). Snapshot
+    /// entries are an ordered map, so iteration yields keys in the same
+    /// ascending order [`keys`](Self::keys) guarantees.
     pub fn snapshot(&self) -> StoreSnapshot<S> {
         let mut entries = std::collections::BTreeMap::new();
         for shard in self.shards.iter() {
-            for (key, sketch) in shard.read().iter() {
-                entries.insert(key.clone(), sketch.clone());
+            for (key, slot) in shard.read().iter() {
+                entries.insert(key.clone(), slot.sketch.clone());
             }
         }
         StoreSnapshot {
@@ -255,7 +328,11 @@ impl<S: Clone> SketchStore<S> {
     ) -> Self {
         let store = Self::with_shards(snapshot.shard_count, factory);
         for (key, sketch) in snapshot.entries {
-            store.shard(&key).write().insert(key, sketch);
+            let version = store.next_version();
+            store
+                .shard(&key)
+                .write()
+                .insert(key, Slot { sketch, version });
         }
         store
     }
@@ -285,11 +362,11 @@ impl<S: Mergeable + Clone> SketchStore<S> {
             .ok_or_else(|| StoreError::KeyNotFound(first.to_owned()))?;
         for &key in rest {
             let shard = self.shard(key).read();
-            let sketch = shard
+            let slot = shard
                 .get(key)
                 .ok_or_else(|| StoreError::KeyNotFound(key.to_owned()))?;
             merged
-                .merge_from(sketch)
+                .merge_from(&slot.sketch)
                 .map_err(StoreError::incompatible)?;
         }
         Ok(merged)
@@ -306,7 +383,7 @@ impl<S: Mergeable + Clone> SketchStore<S> {
         let mut merged: Option<S> = None;
         for shard in self.shards.iter() {
             let guard = shard.read();
-            let mut sketches = guard.values();
+            let mut sketches = guard.values().map(|slot| &slot.sketch);
             let acc = match &mut merged {
                 Some(acc) => acc,
                 None => match sketches.next() {

@@ -1,0 +1,258 @@
+//! Integration tests of the LSH-pruned similarity query engine.
+
+use setsketch::{SetSketch1, SetSketchConfig};
+use sketch_store::{SketchStore, StoreError};
+
+/// Fine register scale (b = 1.001): register collision probability ≈ J,
+/// so banding tunes sharply (paper §3.3, Figure 3 right panel).
+fn config() -> SetSketchConfig {
+    SetSketchConfig::new(256, 1.001, 20.0, (1 << 16) - 2).unwrap()
+}
+
+fn store_with_shards(shards: usize) -> SketchStore<SetSketch1> {
+    let cfg = config();
+    SketchStore::with_shards(shards, move || SetSketch1::new(cfg, 42))
+}
+
+/// `count` elements of a deterministic stream starting at `start`.
+fn elements(start: u64, count: u64) -> Vec<u64> {
+    (start..start + count).collect()
+}
+
+/// A store with two similar clusters and background keys.
+fn clustered_store() -> SketchStore<SetSketch1> {
+    let store = store_with_shards(8);
+    // Cluster 1: ~2/3 Jaccard overlap.
+    store.ingest("alpha-1", &elements(0, 3000));
+    store.ingest("alpha-2", &elements(500, 3000));
+    // Cluster 2: near-duplicates.
+    store.ingest("beta-1", &elements(1_000_000, 3000));
+    store.ingest("beta-2", &elements(1_000_100, 3000));
+    // Unrelated background.
+    store.ingest("noise-1", &elements(5_000_000, 3000));
+    store.ingest("noise-2", &elements(9_000_000, 3000));
+    store
+}
+
+#[test]
+fn pruned_sweep_finds_similar_pairs_with_exact_quantities() {
+    let store = clustered_store();
+    let pruned = store.all_pairs(0.4).unwrap();
+    let exhaustive = store.all_pairs_exhaustive(0.4).unwrap();
+
+    let pair_keys: Vec<(&str, &str)> = pruned
+        .iter()
+        .map(|p| (p.left.as_str(), p.right.as_str()))
+        .collect();
+    assert!(pair_keys.contains(&("alpha-1", "alpha-2")), "{pair_keys:?}");
+    assert!(pair_keys.contains(&("beta-1", "beta-2")), "{pair_keys:?}");
+    assert!(!pair_keys
+        .iter()
+        .any(|(a, b)| a.starts_with("noise") && b.starts_with("noise")));
+
+    // Every reported pair carries exactly the quantities the exhaustive
+    // sweep computes (verification always runs the exact kernel).
+    for pair in &pruned {
+        let reference = exhaustive
+            .iter()
+            .find(|p| p.left == pair.left && p.right == pair.right)
+            .expect("pruned pair must exist in the exhaustive sweep");
+        assert_eq!(pair.quantities, reference.quantities);
+        // ... and matches the store's one-pair query on the same states.
+        let joint = store.joint(&pair.left, &pair.right).unwrap();
+        assert_eq!(pair.quantities, joint);
+    }
+
+    // Output is canonical: left < right, sorted, no duplicates.
+    assert!(pruned.iter().all(|p| p.left < p.right));
+    let mut sorted = pair_keys.clone();
+    sorted.sort_unstable();
+    sorted.dedup();
+    assert_eq!(pair_keys, sorted);
+}
+
+#[test]
+fn threshold_zero_falls_back_to_exhaustive_and_matches_exactly() {
+    let store = clustered_store();
+    let pruned = store.all_pairs(0.0).unwrap();
+    let exhaustive = store.all_pairs_exhaustive(0.0).unwrap();
+    assert_eq!(pruned, exhaustive);
+    assert_eq!(pruned.len(), 6 * 5 / 2, "threshold 0 reports every pair");
+    // No banding reaches the recall target at threshold 0.
+    let info = store.similarity_index_info().expect("index state exists");
+    assert_eq!(info.banding, None);
+}
+
+#[test]
+fn index_is_tuned_and_reused_across_queries() {
+    let store = clustered_store();
+    store.build_similarity_index(0.5);
+    let info = store.similarity_index_info().expect("index built");
+    assert_eq!(info.threshold, 0.5);
+    let banding = info.banding.expect("threshold 0.5 is tunable at b=1.001");
+    assert!(banding.rows >= 2, "{banding:?}");
+    assert!(banding.registers() <= 256);
+    assert_eq!(info.indexed_keys, 6);
+
+    // A same-threshold query keeps the tuned index (no rebuild).
+    let _ = store.all_pairs(0.5).unwrap();
+    assert_eq!(
+        store.similarity_index_info().unwrap().banding,
+        Some(banding)
+    );
+}
+
+#[test]
+fn index_follows_ingest_updates_and_removals() {
+    let store = clustered_store();
+    store.build_similarity_index(0.5);
+
+    // A new near-duplicate of alpha-1 appears after the index is built:
+    // only the changed key gets re-banded, and the sweep sees it.
+    store.ingest("alpha-3", &elements(100, 3000));
+    let pairs = store.all_pairs(0.5).unwrap();
+    assert!(pairs
+        .iter()
+        .any(|p| p.left == "alpha-1" && p.right == "alpha-3"));
+    assert_eq!(store.similarity_index_info().unwrap().indexed_keys, 7);
+
+    // Removing a key drops it from the index and from results.
+    store.remove("alpha-3");
+    let pairs = store.all_pairs(0.5).unwrap();
+    assert!(!pairs
+        .iter()
+        .any(|p| p.left == "alpha-3" || p.right == "alpha-3"));
+    assert_eq!(store.similarity_index_info().unwrap().indexed_keys, 6);
+}
+
+#[test]
+fn reingested_key_after_remove_is_reindexed() {
+    // Regression test: version stamps are store-global, so a key that
+    // is removed and later re-created under new content must not be
+    // mistaken for its already-indexed former self.
+    let store = store_with_shards(4);
+    store.ingest("x", &elements(0, 3000));
+    store.ingest("k", &elements(5_000_000, 3000)); // unrelated to x
+    assert_eq!(store.all_pairs(0.5).unwrap(), vec![]);
+
+    store.remove("k");
+    store.ingest("k", &elements(100, 3000)); // now a near-duplicate of x
+    let pairs = store.all_pairs(0.5).unwrap();
+    assert!(
+        pairs.iter().any(|p| p.left == "k" && p.right == "x"),
+        "re-ingested key must be re-banded, got {pairs:?}"
+    );
+
+    // Same through put(): replacing the state re-bands it.
+    let fresh = store_with_shards(4).get("nope").is_none();
+    assert!(fresh);
+    let unrelated = {
+        let cfg = config();
+        let mut s = setsketch::SetSketch1::new(cfg, 42);
+        s.extend(9_000_000..9_003_000);
+        s
+    };
+    store.put("k", unrelated);
+    assert_eq!(store.all_pairs(0.5).unwrap(), vec![]);
+}
+
+#[test]
+fn alternating_thresholds_reuse_cached_indexes() {
+    let store = clustered_store();
+    let first = store.all_pairs(0.5).unwrap();
+    let other = store.all_pairs(0.7).unwrap();
+    // Back to the first threshold: the cached state answers (and stays
+    // correct after more ingest).
+    assert_eq!(store.all_pairs(0.5).unwrap(), first);
+    assert_eq!(store.similarity_index_info().unwrap().threshold, 0.5);
+    store.ingest("alpha-3", &elements(100, 3000));
+    assert!(store
+        .all_pairs(0.5)
+        .unwrap()
+        .iter()
+        .any(|p| p.right == "alpha-3"));
+    assert_eq!(store.all_pairs(0.7).unwrap().len(), {
+        let reference = store.all_pairs_exhaustive(0.7).unwrap();
+        assert!(reference.len() >= other.len());
+        reference.len()
+    });
+}
+
+#[test]
+fn similar_keys_ranks_by_jaccard() {
+    let store = clustered_store();
+    let neighbors = store.similar_keys("alpha-1", 2).unwrap();
+    assert_eq!(neighbors.len(), 2);
+    assert_eq!(neighbors[0].key, "alpha-2");
+    assert!(neighbors[0].quantities.jaccard > neighbors[1].quantities.jaccard);
+    // The quantities match the store's pairwise query, query side first.
+    assert_eq!(
+        neighbors[0].quantities,
+        store.joint("alpha-1", "alpha-2").unwrap()
+    );
+}
+
+#[test]
+fn similar_keys_breaks_ties_by_key() {
+    let store = store_with_shards(4);
+    store.ingest("query", &elements(0, 2000));
+    // Two identical sketches: equal Jaccard against the query.
+    store.ingest("twin-b", &elements(500, 2000));
+    store.ingest("twin-a", &elements(500, 2000));
+    let neighbors = store.similar_keys("query", 2).unwrap();
+    assert_eq!(neighbors.len(), 2);
+    assert_eq!(neighbors[0].key, "twin-a", "ties break by ascending key");
+    assert_eq!(neighbors[1].key, "twin-b");
+    assert_eq!(neighbors[0].quantities, neighbors[1].quantities);
+}
+
+#[test]
+fn similar_keys_edge_cases() {
+    let store = store_with_shards(4);
+    // Empty store: the query key does not exist.
+    assert!(matches!(
+        store.similar_keys("missing", 3),
+        Err(StoreError::KeyNotFound(_))
+    ));
+    // Single-key store: no neighbors.
+    store.ingest("only", &elements(0, 1000));
+    assert_eq!(store.similar_keys("only", 5).unwrap(), vec![]);
+    // k = 0: empty result.
+    store.ingest("other", &elements(100, 1000));
+    assert_eq!(store.similar_keys("only", 0).unwrap(), vec![]);
+    // k larger than the store: every other key, ranked.
+    let neighbors = store.similar_keys("only", 10).unwrap();
+    assert_eq!(neighbors.len(), 1);
+    assert_eq!(neighbors[0].key, "other");
+}
+
+#[test]
+fn empty_store_sweeps_are_empty() {
+    let store = store_with_shards(4);
+    assert_eq!(store.all_pairs(0.5).unwrap(), vec![]);
+    assert_eq!(store.all_pairs_exhaustive(0.5).unwrap(), vec![]);
+    store.ingest("solo", &elements(0, 100));
+    assert_eq!(store.all_pairs(0.5).unwrap(), vec![]);
+}
+
+#[test]
+fn keys_and_snapshot_order_is_sorted_for_any_shard_count() {
+    for shards in [1, 3, 16] {
+        let store = store_with_shards(shards);
+        for key in ["zeta", "alpha", "mid", "beta", "omega"] {
+            store.ingest(key, &elements(0, 50));
+        }
+        let keys = store.keys();
+        assert_eq!(keys, vec!["alpha", "beta", "mid", "omega", "zeta"]);
+        let snapshot = store.snapshot();
+        let snapshot_keys: Vec<&String> = snapshot.entries.keys().collect();
+        assert_eq!(snapshot_keys, keys.iter().collect::<Vec<_>>());
+    }
+}
+
+#[test]
+#[should_panic(expected = "similarity threshold")]
+fn rejects_out_of_range_threshold() {
+    let store = clustered_store();
+    let _ = store.all_pairs(1.5);
+}
