@@ -48,7 +48,9 @@ fn sweep_config() -> SetSketchConfig {
 /// pairs are not trivially disjoint.
 fn build_store(n: usize) -> SketchStore<SetSketch1> {
     let cfg = sweep_config();
-    let store = SketchStore::with_shards(16, move || SetSketch1::new(cfg, 42));
+    let store = SketchStore::builder(move || SetSketch1::new(cfg, 42))
+        .shards(16)
+        .build();
     let mut batch: Vec<u64> = Vec::new();
     for key in 0..n {
         let pair = (key / 2) as u64;

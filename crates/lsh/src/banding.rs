@@ -22,6 +22,22 @@ pub struct Banding {
 }
 
 impl Banding {
+    /// Creates an explicit banding layout.
+    ///
+    /// Most callers let [`tune`](Self::tune) derive the layout from the
+    /// sketch family's collision probability; an explicit layout is for
+    /// overriding the tuner (e.g. through a query-options struct) when
+    /// the operating point is known from offline analysis. Use
+    /// [`recall_at`](Self::recall_at) to check what recall a hand-picked
+    /// layout delivers at a given collision probability.
+    ///
+    /// # Panics
+    /// Panics if `bands` or `rows` is zero.
+    pub fn new(bands: usize, rows: usize) -> Self {
+        assert!(bands > 0 && rows > 0, "banding needs bands, rows >= 1");
+        Banding { bands, rows }
+    }
+
     /// Registers consumed by this banding (`bands * rows`).
     #[inline]
     pub fn registers(&self) -> usize {

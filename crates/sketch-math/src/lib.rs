@@ -43,7 +43,8 @@ pub use bitpack::{pack_bits, unpack_bits, BitPackError};
 pub use brent::{maximize, minimize, Extremum};
 pub use fisher::{fisher_information, fisher_information_b1, jaccard_rmse_theory};
 pub use joint::{
-    inclusion_exclusion_jaccard, ml_jaccard, ml_jaccard_b1, JointCounts, JointQuantities,
+    inclusion_exclusion_jaccard, invert_collision_probability, ml_jaccard, ml_jaccard_b1,
+    JointCounts, JointQuantities,
 };
 pub use pb::{log_b, p_b, p_b_derivative};
 pub use power_table::PowerTable;

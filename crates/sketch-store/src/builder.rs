@@ -1,0 +1,115 @@
+//! Fluent construction of a [`SketchStore`].
+//!
+//! [`SketchStore::builder`] is the store's single construction entry
+//! point: the factory closure is mandatory (it fixes configuration and
+//! hash seed for every sketch the store creates), everything else is an
+//! optional knob with a production-minded default. Centralizing the
+//! knobs here keeps the store's constructor surface stable as new ones
+//! (eviction policies, snapshot spill, …) arrive: they become builder
+//! methods instead of constructor variants.
+
+use crate::pipeline::{PipelineDefaults, DEFAULT_QUEUE_DEPTH, DEFAULT_WRITER_THREADS};
+use crate::store::{SketchStore, DEFAULT_SHARDS};
+use std::sync::Arc;
+
+/// Configures and builds a [`SketchStore`].
+///
+/// Returned by [`SketchStore::builder`]; every knob has a default, so
+/// `SketchStore::builder(factory).build()` is the minimal form.
+///
+/// ```
+/// use setsketch::{SetSketch2, SetSketchConfig};
+/// use sketch_store::SketchStore;
+///
+/// let config = SetSketchConfig::example_16bit();
+/// let store = SketchStore::builder(move || SetSketch2::new(config, 42))
+///     .shards(8)            // write-contention granularity
+///     .queue_depth(256)     // per-writer pipeline backlog bound
+///     .writer_threads(2)    // dedicated pipeline writer threads
+///     .build();
+/// store.ingest("key", &[1, 2, 3]);
+/// assert_eq!(store.len(), 1);
+/// ```
+pub struct StoreBuilder<S> {
+    shards: usize,
+    pipeline: PipelineDefaults,
+    factory: Box<dyn Fn() -> S + Send + Sync>,
+}
+
+impl<S> StoreBuilder<S> {
+    /// Starts a builder around the store's sketch factory.
+    pub(crate) fn new(factory: impl Fn() -> S + Send + Sync + 'static) -> Self {
+        StoreBuilder {
+            shards: DEFAULT_SHARDS,
+            pipeline: PipelineDefaults {
+                queue_depth: DEFAULT_QUEUE_DEPTH,
+                writer_threads: DEFAULT_WRITER_THREADS,
+            },
+            factory: Box::new(factory),
+        }
+    }
+
+    /// Number of lock shards the key space is split across (default
+    /// [`DEFAULT_SHARDS`]). More shards reduce write contention; the
+    /// key→shard mapping is stable for a given count.
+    pub fn shards(mut self, shards: usize) -> Self {
+        self.shards = shards;
+        self
+    }
+
+    /// Bound on the number of operations each pipeline writer queues
+    /// before producers block — the backpressure knob of
+    /// [`SketchStore::pipeline`] (default
+    /// [`DEFAULT_QUEUE_DEPTH`](crate::DEFAULT_QUEUE_DEPTH)).
+    pub fn queue_depth(mut self, depth: usize) -> Self {
+        self.pipeline.queue_depth = depth;
+        self
+    }
+
+    /// Number of dedicated writer threads each
+    /// [`SketchStore::pipeline`] handle spawns (default
+    /// [`DEFAULT_WRITER_THREADS`](crate::DEFAULT_WRITER_THREADS)).
+    /// Shards are partitioned across writers, so counts beyond the
+    /// shard count cannot add parallelism.
+    pub fn writer_threads(mut self, writers: usize) -> Self {
+        self.pipeline.writer_threads = writers;
+        self
+    }
+
+    /// Builds the store.
+    ///
+    /// # Panics
+    /// Panics if `shards`, `queue_depth` or `writer_threads` was set to
+    /// zero.
+    pub fn build(self) -> SketchStore<S> {
+        assert!(self.shards > 0, "store needs at least one shard");
+        assert!(
+            self.pipeline.queue_depth > 0,
+            "pipeline queues need depth of at least one operation"
+        );
+        assert!(
+            self.pipeline.writer_threads > 0,
+            "pipelines need at least one writer thread"
+        );
+        SketchStore::from_parts(self.shards, self.factory, self.pipeline)
+    }
+
+    /// Builds the store behind an [`Arc`] — the shape
+    /// [`SketchStore::pipeline`] and multi-threaded servers want.
+    ///
+    /// # Panics
+    /// As [`build`](Self::build).
+    pub fn build_shared(self) -> Arc<SketchStore<S>> {
+        Arc::new(self.build())
+    }
+}
+
+impl<S> std::fmt::Debug for StoreBuilder<S> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("StoreBuilder")
+            .field("shards", &self.shards)
+            .field("queue_depth", &self.pipeline.queue_depth)
+            .field("writer_threads", &self.pipeline.writer_threads)
+            .finish_non_exhaustive()
+    }
+}

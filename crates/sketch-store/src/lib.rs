@@ -10,10 +10,20 @@
 //! serves SetSketch, HyperLogLog/GHLL, the MinHash family, HyperMinHash
 //! or Theta sketches:
 //!
-//! * **batched ingest** — [`SketchStore::ingest`] records a whole batch
-//!   under one lock acquisition, hitting the sketch's specialized
-//!   [`BatchInsert`] path (SetSketch's sorted-batch `K_low` early
-//!   exit);
+//! * **builder construction** — [`SketchStore::builder`] is the single
+//!   front door: shard count, pipeline queue depth and writer threads
+//!   (and future knobs) are configured fluently, with the legacy
+//!   constructors kept as deprecated wrappers;
+//! * **batched ingest** — [`SketchStore::ingest`] /
+//!   [`SketchStore::ingest_bytes`] record a whole batch under one lock
+//!   acquisition, hitting the sketch's specialized [`BatchInsert`] path
+//!   (SetSketch's sorted-batch `K_low` early exit);
+//! * **pipelined ingest** — [`SketchStore::pipeline`] returns an
+//!   [`IngestPipeline`] routing operations into bounded per-writer
+//!   queues drained by dedicated threads, with blocking backpressure,
+//!   non-blocking `try_*` variants and executor-agnostic futures
+//!   ([`SendOp`], [`Flush`]) so the store can sit behind any async
+//!   server without blocking executor threads;
 //! * **cross-key queries** — [`SketchStore::joint`],
 //!   [`SketchStore::jaccard`],
 //!   [`SketchStore::intersection_cardinality`] and
@@ -30,21 +40,26 @@
 //!   candidates through an incrementally maintained banding LSH index
 //!   over the sketches' own registers (paper §3.3) and verify survivors
 //!   with the exact joint estimator in parallel — sub-quadratic where
-//!   N·(N−1)/2 [`joint`](SketchStore::joint) calls are not.
+//!   N·(N−1)/2 [`joint`](SketchStore::joint) calls are not. The
+//!   `*_with` variants take typed [`QueryOptions`]: banding recall
+//!   target or explicit layout, multi-probe policy, worker count, and
+//!   [`Verification::Approximate`] — the §3.3 D₀-based
+//!   approximate-quantity mode that replaces per-pair likelihood
+//!   maximization with one register comparison and a table lookup.
 //!
 //! ## Concurrent ingest
 //!
 //! All operations take `&self`; scoped threads (or an [`Arc`]) share the
 //! store directly. Inserts are idempotent and commutative, so ingest
-//! order — and any interleaving across threads — cannot change the final
-//! state:
+//! order — and any interleaving across threads or pipeline handles —
+//! cannot change the final state:
 //!
 //! ```
 //! use setsketch::{SetSketch2, SetSketchConfig};
 //! use sketch_store::SketchStore;
 //!
 //! let config = SetSketchConfig::example_16bit();
-//! let store = SketchStore::new(move || SetSketch2::new(config, 7));
+//! let store = SketchStore::builder(move || SetSketch2::new(config, 7)).build();
 //!
 //! std::thread::scope(|scope| {
 //!     for worker in 0..4u64 {
@@ -60,17 +75,49 @@
 //! assert!((count - 2250.0).abs() / 2250.0 < 0.1);
 //! ```
 //!
+//! The same workload through the pipelined front — callers only enqueue;
+//! dedicated writer threads apply the updates (see [`IngestPipeline`]
+//! for the async variants):
+//!
+//! ```
+//! use setsketch::{SetSketch2, SetSketchConfig};
+//! use sketch_store::SketchStore;
+//!
+//! let config = SetSketchConfig::example_16bit();
+//! let store = SketchStore::builder(move || SetSketch2::new(config, 7)).build_shared();
+//!
+//! let pipeline = store.clone().pipeline();
+//! for worker in 0..4u64 {
+//!     let batch: Vec<u64> = (worker * 500..(worker + 1) * 500 + 250).collect();
+//!     pipeline.ingest("events", &batch);
+//! }
+//! pipeline.flush();
+//!
+//! let count = store.cardinality("events").unwrap();
+//! assert!((count - 2250.0).abs() / 2250.0 < 0.1);
+//! ```
+//!
 //! [`Arc`]: std::sync::Arc
 
 #![warn(missing_docs)]
 
+mod builder;
 mod error;
+mod pipeline;
 mod query;
 mod snapshot;
 mod store;
 
+pub use builder::StoreBuilder;
 pub use error::StoreError;
-pub use query::{Neighbor, SimilarPair, SimilarityIndexInfo, DEFAULT_SIMILARITY_THRESHOLD};
+pub use pipeline::{
+    block_on, Flush, IngestPipeline, PipelineFull, SendOp, DEFAULT_QUEUE_DEPTH,
+    DEFAULT_WRITER_THREADS,
+};
+pub use query::{
+    Neighbor, Probe, QueryOptions, SimilarPair, SimilarityIndexInfo, Verification,
+    DEFAULT_RECALL_TARGET, DEFAULT_SIMILARITY_THRESHOLD,
+};
 pub use snapshot::StoreSnapshot;
 pub use store::{SketchStore, DEFAULT_SHARDS};
 

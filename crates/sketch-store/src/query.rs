@@ -1,5 +1,5 @@
 //! Batched cross-key similarity queries: LSH-pruned top-k and
-//! all-pairs sweeps over the store.
+//! all-pairs sweeps over the store, with typed per-query options.
 //!
 //! Answering "which of my N keys are similar?" with per-pair
 //! [`joint`](SketchStore::joint) calls costs `O(N²·m)` register
@@ -17,12 +17,23 @@
 //!    moved since they were last indexed are re-banded (removed under
 //!    their stored band hashes, re-inserted under the new ones). Steady
 //!    query traffic therefore never pays a full index rebuild.
-//! 3. **Exact verification** — every surviving candidate pair is
-//!    verified with the family's *exact* joint estimator (the PR-3
-//!    `compare_counts` register kernel underneath) over a point-in-time
-//!    snapshot, fanned out across worker threads with per-worker result
-//!    buffers. The LSH stage only ever prunes; reported quantities are
-//!    identical to what an exhaustive sweep computes for the same pair.
+//! 3. **Verification** — every surviving candidate pair is verified
+//!    over a point-in-time snapshot, fanned out across worker threads
+//!    with per-worker result buffers. [`Verification::Exact`] (the
+//!    default) runs the family's exact joint estimator (the
+//!    `compare_counts` register kernel feeding a likelihood
+//!    maximization), so reported quantities are identical to what an
+//!    exhaustive sweep computes for the same pair.
+//!    [`Verification::Approximate`] instead reports the paper's §3.3
+//!    D₀-based estimate: one register comparison per pair plus a table
+//!    lookup that inverts the family's collision-probability curve at
+//!    the observed equal-register fraction — the "approximate-quantity"
+//!    mode for latency-critical sweeps.
+//!
+//! Every query method has a `*_with` variant taking [`QueryOptions`],
+//! which also surfaces the banding recall target, an explicit
+//! [`Banding`] override, multi-probe policy and the verification worker
+//! count. The plain methods are the `QueryOptions::default()` shorthand.
 //!
 //! When the threshold carries no locality signal (e.g. `0.0`, where
 //! every pair must be reported), [`Banding::tune`] reports that no
@@ -33,7 +44,10 @@
 use crate::error::StoreError;
 use crate::store::SketchStore;
 use lsh::{Banding, LshIndex};
-use sketch_core::{JointEstimator, JointQuantities, Signature};
+use sketch_core::{
+    invert_collision_probability, CardinalityEstimator, JointCounts, JointEstimator,
+    JointQuantities, Signature,
+};
 use std::collections::{HashMap, HashSet};
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 
@@ -43,26 +57,161 @@ use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 /// recall, more dissimilar keys on a best-effort basis.
 pub const DEFAULT_SIMILARITY_THRESHOLD: f64 = 0.5;
 
-/// Recall target handed to [`Banding::tune`]: the banding stage is laid
-/// out so that a pair *at* the query threshold still becomes a
-/// candidate with this probability (more similar pairs exceed it).
-const BANDING_TARGET_RECALL: f64 = 0.98;
+/// Default banding recall target ([`QueryOptions::recall_target`]): the
+/// banding stage is laid out so that a pair *at* the query threshold
+/// still becomes a candidate with this probability (more similar pairs
+/// exceed it).
+pub const DEFAULT_RECALL_TARGET: f64 = 0.98;
 
 /// Candidate pairs handed to one worker at a time during verification.
 const VERIFY_CHUNK: usize = 256;
 
-/// Cached index states, one per distinct query threshold (most recently
-/// used first). Bounding the cache keeps a service that sweeps many
-/// thresholds from hoarding band tables; alternating between a few
-/// operating points never re-tunes or re-bands.
+/// Cached index states, one per distinct (threshold, banding-options)
+/// operating point (most recently used first). Bounding the cache keeps
+/// a service that sweeps many thresholds from hoarding band tables;
+/// alternating between a few operating points never re-tunes or
+/// re-bands.
 const MAX_CACHED_INDEXES: usize = 4;
+
+/// How candidate pairs are verified before being reported.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Verification {
+    /// The family's exact joint estimator — the same code path as
+    /// [`SketchStore::joint`], so a reported pair's quantities are
+    /// independent of how it became a candidate. The default.
+    #[default]
+    Exact,
+    /// The paper's §3.3 D₀-based estimate: per-entry signatures and
+    /// cardinalities are extracted once, then each pair costs one
+    /// vectorized register comparison and a lookup in a precomputed
+    /// inversion table of the family's collision-probability curve
+    /// ([`JointQuantities::from_collision_counts`] semantics). Orders
+    /// of magnitude cheaper per pair than a likelihood maximization;
+    /// accuracy is the §3.3 RMSE envelope (paper Figure 4) instead of
+    /// the tighter maximum-likelihood error, and the estimate is
+    /// conservative (downward-biased) for families whose curve is a
+    /// lower collision bound (SetSketch, GHLL, HyperMinHash).
+    Approximate,
+}
+
+/// Multi-probe policy of the candidate stage of top-k queries.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Probe {
+    /// Multi-probe (±1 register perturbations) exactly when the sketch
+    /// family reports ordinal registers
+    /// ([`Signature::ordinal_registers`]). The default.
+    #[default]
+    Auto,
+    /// Never multi-probe: one exact banding lookup per query.
+    Never,
+    /// Always multi-probe, even for folded-hash signatures (where a
+    /// perturbed register is just another random hash — usually wasted
+    /// work; useful for experiments).
+    Always,
+}
+
+/// Typed per-query options of the similarity engine, accepted by the
+/// `*_with` query variants ([`SketchStore::similar_keys_with`],
+/// [`SketchStore::all_pairs_with`],
+/// [`SketchStore::all_pairs_exhaustive_with`]).
+///
+/// The struct is plain data with a [`Default`]; build it with struct
+/// update syntax or the fluent helpers:
+///
+/// ```
+/// use sketch_store::{Probe, QueryOptions, Verification};
+///
+/// let options = QueryOptions::default()
+///     .approximate()          // §3.3 D₀-based verification
+///     .recall_target(0.9)     // more selective banding
+///     .threads(2);            // cap verification workers
+/// assert_eq!(options.verification, Verification::Approximate);
+/// assert_eq!(options.probe, Probe::Auto);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct QueryOptions {
+    /// How candidate pairs are verified (default
+    /// [`Verification::Exact`]).
+    pub verification: Verification,
+    /// Recall the banding stage must retain for pairs at the query
+    /// threshold (default [`DEFAULT_RECALL_TARGET`]). Lower targets
+    /// allow more selective bandings — fewer false candidates, more
+    /// missed true pairs.
+    pub recall_target: f64,
+    /// Multi-probe policy of top-k candidate lookups (default
+    /// [`Probe::Auto`]).
+    pub probe: Probe,
+    /// Verification worker threads; `None` (default) uses the machine's
+    /// available parallelism.
+    pub threads: Option<usize>,
+    /// Explicit banding layout, bypassing the auto-tuner — for
+    /// operating points established by offline analysis. The layout
+    /// must fit the family's signature
+    /// (`bands · rows ≤ signature_len`). `None` (default) tunes from
+    /// the family's collision bound at the query threshold.
+    pub banding: Option<Banding>,
+}
+
+impl Default for QueryOptions {
+    fn default() -> Self {
+        QueryOptions {
+            verification: Verification::Exact,
+            recall_target: DEFAULT_RECALL_TARGET,
+            probe: Probe::Auto,
+            threads: None,
+            banding: None,
+        }
+    }
+}
+
+impl QueryOptions {
+    /// Selects [`Verification::Approximate`].
+    pub fn approximate(mut self) -> Self {
+        self.verification = Verification::Approximate;
+        self
+    }
+
+    /// Selects [`Verification::Exact`] (the default).
+    pub fn exact(mut self) -> Self {
+        self.verification = Verification::Exact;
+        self
+    }
+
+    /// Sets the banding recall target.
+    pub fn recall_target(mut self, target: f64) -> Self {
+        self.recall_target = target;
+        self
+    }
+
+    /// Sets the multi-probe policy.
+    pub fn probe(mut self, probe: Probe) -> Self {
+        self.probe = probe;
+        self
+    }
+
+    /// Caps the verification worker count.
+    pub fn threads(mut self, threads: usize) -> Self {
+        self.threads = Some(threads);
+        self
+    }
+
+    /// Forces an explicit banding layout.
+    pub fn banding(mut self, banding: Banding) -> Self {
+        self.banding = Some(banding);
+        self
+    }
+}
 
 /// One of the store's lazily built, incrementally maintained similarity
 /// index states.
 pub(crate) struct SimilarityIndex {
     /// Jaccard threshold the banding was tuned for.
     threshold: f64,
-    /// The tuned layout; `None` when no banding reaches the recall
+    /// Recall target the banding was tuned to.
+    recall_target: f64,
+    /// Explicit layout override the state was built with, if any.
+    forced: Option<Banding>,
+    /// The effective layout; `None` when no banding reaches the recall
     /// target at `threshold` (queries then run exhaustively).
     banding: Option<Banding>,
     /// The banding index itself (`None` exactly when `banding` is).
@@ -78,25 +227,29 @@ struct IndexedKey {
 }
 
 /// A pair of store keys whose verified similarity cleared the sweep
-/// threshold, with the full exact joint estimate.
+/// threshold, with the joint estimate the sweep's
+/// [`Verification`] mode produced (exact by default).
 #[derive(Debug, Clone, PartialEq)]
 pub struct SimilarPair {
     /// Lexicographically smaller key (the `U` side of `quantities`).
     pub left: String,
     /// Lexicographically larger key (the `V` side of `quantities`).
     pub right: String,
-    /// Exact joint estimate of the pair — identical to
-    /// [`SketchStore::joint`] on the same states.
+    /// Joint estimate of the pair. Under [`Verification::Exact`] this
+    /// is identical to [`SketchStore::joint`] on the same states; under
+    /// [`Verification::Approximate`] it carries the §3.3 D₀-based
+    /// estimate.
     pub quantities: JointQuantities,
 }
 
-/// One result of a top-k query: a neighboring key and the exact joint
-/// estimate against the query key (query on the `U` side).
+/// One result of a top-k query: a neighboring key and the joint
+/// estimate against the query key (query on the `U` side; exact under
+/// the default options).
 #[derive(Debug, Clone, PartialEq)]
 pub struct Neighbor {
     /// The neighboring key.
     pub key: String,
-    /// Exact joint estimate for (query key, this key).
+    /// Joint estimate for (query key, this key).
     pub quantities: JointQuantities,
 }
 
@@ -105,7 +258,9 @@ pub struct Neighbor {
 pub struct SimilarityIndexInfo {
     /// Threshold the index is tuned for.
     pub threshold: f64,
-    /// Tuned banding, or `None` when queries at this threshold run
+    /// Recall target the banding was tuned to.
+    pub recall_target: f64,
+    /// Effective banding, or `None` when queries at this threshold run
     /// exhaustively.
     pub banding: Option<Banding>,
     /// Number of keys currently banded into the index.
@@ -115,14 +270,15 @@ pub struct SimilarityIndexInfo {
 impl<S> SketchStore<S> {
     /// Reports the **most recently used** similarity index state — its
     /// tuned banding and coverage — or `None` if no similarity query
-    /// has run yet. (The store caches one state per queried threshold,
-    /// up to a small bound.)
+    /// has run yet. (The store caches one state per queried operating
+    /// point, up to a small bound.)
     pub fn similarity_index_info(&self) -> Option<SimilarityIndexInfo> {
         self.similarity
             .lock()
             .first()
             .map(|index| SimilarityIndexInfo {
                 threshold: index.threshold,
+                recall_target: index.recall_target,
                 banding: index.banding,
                 indexed_keys: index.entries.len(),
             })
@@ -134,16 +290,29 @@ where
     S: Signature + JointEstimator + Clone + Send + Sync,
 {
     /// Tunes (if needed) and incrementally refreshes the similarity
-    /// index for `threshold`, without running a query. Queries do this
-    /// on demand; calling it eagerly (e.g. after a bulk load) moves the
-    /// banding work off the first query's latency.
+    /// index for `threshold` under the default [`QueryOptions`],
+    /// without running a query. Queries do this on demand; calling it
+    /// eagerly (e.g. after a bulk load) moves the banding work off the
+    /// first query's latency.
     ///
     /// # Panics
     /// Panics if `threshold` is outside `[0, 1]`.
     pub fn build_similarity_index(&self, threshold: f64) {
+        self.build_similarity_index_with(threshold, &QueryOptions::default());
+    }
+
+    /// [`build_similarity_index`](Self::build_similarity_index) for an
+    /// explicit operating point (recall target or forced banding).
+    ///
+    /// # Panics
+    /// Panics if `threshold` is outside `[0, 1]`, if
+    /// `options.recall_target` is outside `(0, 1]`, or if a forced
+    /// banding does not fit the family's signature.
+    pub fn build_similarity_index_with(&self, threshold: f64, options: &QueryOptions) {
         check_threshold(threshold);
+        check_recall_target(options.recall_target);
         let mut guard = self.similarity.lock();
-        let index = self.ensure_index(&mut guard, threshold);
+        let index = self.ensure_index(&mut guard, threshold, options);
         self.refresh_index(index);
     }
 
@@ -184,22 +353,51 @@ where
         k: usize,
         threshold: f64,
     ) -> Result<Vec<Neighbor>, StoreError> {
+        let options = QueryOptions::default();
+        self.similar_keys_impl(key, k, threshold, &options, |candidates| {
+            self.exact_entries_for(key, candidates)
+        })
+    }
+
+    /// The shared top-k engine: candidate generation off the
+    /// similarity index (with exhaustive fallback), verification of
+    /// `(query, candidate)` pairs over entries supplied by
+    /// `make_entries`, ranking by descending Jaccard.
+    fn similar_keys_impl(
+        &self,
+        key: &str,
+        k: usize,
+        threshold: f64,
+        options: &QueryOptions,
+        make_entries: impl FnOnce(Vec<String>) -> Result<VerifyEntries<S>, StoreError>,
+    ) -> Result<Vec<Neighbor>, StoreError> {
         check_threshold(threshold);
+        check_recall_target(options.recall_target);
         let candidate_keys = {
             let mut guard = self.similarity.lock();
-            let index = self.ensure_index(&mut guard, threshold);
+            let index = self.ensure_index(&mut guard, threshold, options);
             self.refresh_index(index);
             // The signature is extracted under the shard read lock — no
             // sketch clone inside this critical section. Multi-probing
             // (±1 register perturbations) only names plausible near
             // misses on ordinal register scales; folded-hash signatures
-            // use the exact banding query.
+            // use the exact banding query (policy: `options.probe`).
             let probed = self.with_sketch(key, |sketch| {
                 (sketch.signature(), sketch.ordinal_registers())
             });
             match (&index.lsh, probed) {
-                (Some(lsh), Some((signature, true))) => Some(lsh.query_multiprobe(&signature)),
-                (Some(lsh), Some((signature, false))) => Some(lsh.query(&signature)),
+                (Some(lsh), Some((signature, ordinal))) => {
+                    let multiprobe = match options.probe {
+                        Probe::Auto => ordinal,
+                        Probe::Never => false,
+                        Probe::Always => true,
+                    };
+                    if multiprobe {
+                        Some(lsh.query_multiprobe(&signature))
+                    } else {
+                        Some(lsh.query(&signature))
+                    }
+                }
                 (None, Some(_)) => None, // exhaustive fallback
                 (_, None) => return Err(StoreError::KeyNotFound(key.to_owned())),
             }
@@ -216,39 +414,30 @@ where
         if candidates.len() < k {
             // Recall floor (or exhaustive mode): too few banding
             // candidates to fill the top-k, so verify every other key —
-            // still exact, just unpruned.
+            // still complete, just unpruned.
             candidates = self.keys();
             candidates.retain(|candidate| candidate != key);
         }
 
-        // The verification snapshot clones only the query sketch and
-        // the candidates, never the whole store.
-        let Some(query_sketch) = self.get(key) else {
-            return Err(StoreError::KeyNotFound(key.to_owned()));
-        };
-        let mut entries: Vec<(String, S)> = Vec::with_capacity(candidates.len() + 1);
-        entries.push((key.to_owned(), query_sketch));
-        for candidate in candidates {
-            // Keys can vanish between candidate generation and cloning.
-            if let Some(sketch) = self.get(&candidate) {
-                entries.push((candidate, sketch));
-            }
-        }
+        // The verification inputs cover only the query key and the
+        // candidates, never the whole store; the first entry is the
+        // query key.
+        let entries = make_entries(candidates)?;
 
         let pairs: Vec<(u32, u32)> = (1..entries.len() as u32).map(|i| (0, i)).collect();
         // No threshold filter: top-k keeps its best-effort tail below
         // the tuned threshold.
-        let mut hits = verify_candidates(&entries, Candidates::List(&pairs), 0.0)?;
+        let mut hits = verify_candidates(&entries, Candidates::List(&pairs), 0.0, options)?;
         hits.sort_unstable_by(|a, b| {
             b.2.jaccard
                 .total_cmp(&a.2.jaccard)
-                .then_with(|| entries[a.1 as usize].0.cmp(&entries[b.1 as usize].0))
+                .then_with(|| entries.key(a.1 as usize).cmp(entries.key(b.1 as usize)))
         });
         hits.truncate(k);
         Ok(hits
             .into_iter()
             .map(|(_, i, quantities)| Neighbor {
-                key: entries[i as usize].0.clone(),
+                key: entries.key(i as usize).to_owned(),
                 quantities,
             })
             .collect())
@@ -278,21 +467,33 @@ where
     /// [`StoreError::Incompatible`] if verification meets a sketch
     /// injected with mismatched parameters.
     pub fn all_pairs(&self, threshold: f64) -> Result<Vec<SimilarPair>, StoreError> {
+        let options = QueryOptions::default();
+        self.all_pairs_impl(threshold, &options, |store| store.exact_entries())
+    }
+
+    /// The shared all-pairs engine: candidate pairs off the similarity
+    /// index (exhaustive fallback when untunable), verification over
+    /// entries supplied by `make_entries` after the index refresh.
+    fn all_pairs_impl(
+        &self,
+        threshold: f64,
+        options: &QueryOptions,
+        make_entries: impl FnOnce(&Self) -> VerifyEntries<S>,
+    ) -> Result<Vec<SimilarPair>, StoreError> {
         check_threshold(threshold);
+        check_recall_target(options.recall_target);
         let candidate_keys = {
             let mut guard = self.similarity.lock();
-            let index = self.ensure_index(&mut guard, threshold);
+            let index = self.ensure_index(&mut guard, threshold, options);
             self.refresh_index(index);
             index.lsh.as_ref().map(|lsh| lsh.candidate_pairs())
         };
 
-        let entries = self.sorted_entries();
+        let entries = make_entries(self);
         let hits = match candidate_keys {
             Some(candidates) => {
-                let position: HashMap<&str, u32> = entries
-                    .iter()
-                    .enumerate()
-                    .map(|(i, (k, _))| (k.as_str(), i as u32))
+                let position: HashMap<&str, u32> = (0..entries.len())
+                    .map(|i| (entries.key(i), i as u32))
                     .collect();
                 let pairs: Vec<(u32, u32)> = candidates
                     .iter()
@@ -302,9 +503,11 @@ where
                         Some((*position.get(a.as_str())?, *position.get(b.as_str())?))
                     })
                     .collect();
-                verify_candidates(&entries, Candidates::List(&pairs), threshold)?
+                verify_candidates(&entries, Candidates::List(&pairs), threshold, options)?
             }
-            None => verify_candidates(&entries, Candidates::all(&entries), threshold)?,
+            None => {
+                verify_candidates(&entries, Candidates::all(entries.len()), threshold, options)?
+            }
         };
         Ok(pairs_from_hits(&entries, hits))
     }
@@ -324,40 +527,115 @@ where
     /// [`StoreError::Incompatible`] if verification meets a sketch
     /// injected with mismatched parameters.
     pub fn all_pairs_exhaustive(&self, threshold: f64) -> Result<Vec<SimilarPair>, StoreError> {
+        check_threshold(threshold); // before the snapshot, not after
+        let options = QueryOptions::default();
+        self.all_pairs_exhaustive_impl(threshold, &options, self.exact_entries())
+    }
+
+    /// The shared exhaustive engine: verifies the full pair triangle
+    /// over the supplied entries.
+    fn all_pairs_exhaustive_impl(
+        &self,
+        threshold: f64,
+        options: &QueryOptions,
+        entries: VerifyEntries<S>,
+    ) -> Result<Vec<SimilarPair>, StoreError> {
         check_threshold(threshold);
-        let entries = self.sorted_entries();
-        let hits = verify_candidates(&entries, Candidates::all(&entries), threshold)?;
+        let hits = verify_candidates(&entries, Candidates::all(entries.len()), threshold, options)?;
         Ok(pairs_from_hits(&entries, hits))
     }
 
-    /// Point-in-time snapshot of all entries, sorted by key.
-    fn sorted_entries(&self) -> Vec<(String, S)> {
-        self.snapshot().entries.into_iter().collect()
+    /// Exact-verification inputs over the whole store: a point-in-time
+    /// snapshot of sketch clones, sorted by key.
+    fn exact_entries(&self) -> VerifyEntries<S> {
+        VerifyEntries::Exact(self.snapshot().entries.into_iter().collect())
     }
 
-    /// Returns the cached index state for `threshold`, creating and
+    /// Exact-verification inputs for a top-k query: clones of the
+    /// query key's sketch and every candidate (never the whole store),
+    /// query first.
+    fn exact_entries_for(
+        &self,
+        key: &str,
+        candidates: Vec<String>,
+    ) -> Result<VerifyEntries<S>, StoreError> {
+        let Some(query_sketch) = self.get(key) else {
+            return Err(StoreError::KeyNotFound(key.to_owned()));
+        };
+        let mut entries: Vec<(String, S)> = Vec::with_capacity(candidates.len() + 1);
+        entries.push((key.to_owned(), query_sketch));
+        for candidate in candidates {
+            // Keys can vanish between candidate generation and cloning.
+            if let Some(sketch) = self.get(&candidate) {
+                entries.push((candidate, sketch));
+            }
+        }
+        Ok(VerifyEntries::Exact(entries))
+    }
+
+    /// Inverse of the family's register-collision-probability curve at
+    /// every possible equal-register count `d0 ∈ 0..=m`, probed on an
+    /// empty factory sketch. The curve is a configuration property, so
+    /// the table is computed once per store and shared (by `Arc`) with
+    /// every approximate-mode query.
+    fn collision_inverse_table(&self) -> std::sync::Arc<[f64]> {
+        self.collision_inverse
+            .get_or_init(|| {
+                let probe = self.make_sketch();
+                let m = probe.signature_len();
+                (0..=m)
+                    .map(|d0| {
+                        invert_collision_probability(d0 as f64 / m.max(1) as f64, |jaccard| {
+                            probe.register_collision_probability(jaccard)
+                        })
+                    })
+                    .collect()
+            })
+            .clone()
+    }
+
+    /// Returns the cached index state for the operating point
+    /// `(threshold, recall_target, forced banding)`, creating and
     /// tuning it on first use. States are kept most-recently-used
-    /// first, one per distinct threshold (at most
-    /// [`MAX_CACHED_INDEXES`]), so callers alternating between a few
-    /// operating points — e.g. `all_pairs(0.7)` interleaved with
-    /// default-threshold `similar_keys` — never tear down and re-band
-    /// the whole index on a threshold switch.
+    /// first (at most [`MAX_CACHED_INDEXES`]), so callers alternating
+    /// between a few operating points — e.g. `all_pairs(0.7)`
+    /// interleaved with default-threshold `similar_keys` — never tear
+    /// down and re-band the whole index on a threshold switch.
     fn ensure_index<'a>(
         &self,
         cache: &'a mut Vec<SimilarityIndex>,
         threshold: f64,
+        options: &QueryOptions,
     ) -> &'a mut SimilarityIndex {
-        if let Some(at) = cache.iter().position(|index| index.threshold == threshold) {
+        let matches = |index: &SimilarityIndex| {
+            index.threshold == threshold
+                && index.recall_target == options.recall_target
+                && index.forced == options.banding
+        };
+        if let Some(at) = cache.iter().position(matches) {
             let index = cache.remove(at);
             cache.insert(0, index);
         } else {
             // Tune the banding from the family's locality bound at the
             // threshold, probed on an empty factory sketch (the
             // collision probability is a configuration property, not a
-            // state one).
+            // state one) — unless the caller forced a layout.
             let probe = self.make_sketch();
-            let p = probe.register_collision_probability(threshold);
-            let banding = Banding::tune(probe.signature_len(), p, BANDING_TARGET_RECALL);
+            let banding = match options.banding {
+                Some(banding) => {
+                    assert!(
+                        banding.registers() <= probe.signature_len(),
+                        "forced banding needs {} registers, the signature has {}",
+                        banding.registers(),
+                        probe.signature_len()
+                    );
+                    Some(banding)
+                }
+                None => {
+                    let p = probe.register_collision_probability(threshold);
+                    Banding::tune(probe.signature_len(), p, options.recall_target)
+                }
+            };
             let lsh = banding.map(|b| {
                 LshIndex::new(b.bands, b.rows).expect("tuned banding has bands, rows >= 1")
             });
@@ -365,6 +643,8 @@ where
                 0,
                 SimilarityIndex {
                     threshold,
+                    recall_target: options.recall_target,
+                    forced: options.banding,
                     banding,
                     lsh,
                     entries: HashMap::new(),
@@ -425,15 +705,168 @@ where
     }
 }
 
+// The `*_with` variants additionally accept Verification::Approximate,
+// which estimates cardinalities — hence the extra CardinalityEstimator
+// bound on this block only. The plain query methods above keep the
+// pre-options bound, so sketch types without cardinality estimation
+// continue to compile against them.
+impl<S> SketchStore<S>
+where
+    S: Signature + JointEstimator + CardinalityEstimator + Clone + Send + Sync,
+{
+    /// [`similar_keys_at`](Self::similar_keys_at) with full
+    /// [`QueryOptions`] control: approximate verification, banding
+    /// recall target or explicit layout, multi-probe policy, worker
+    /// count.
+    ///
+    /// # Panics
+    /// Panics if `threshold` is outside `[0, 1]`, if
+    /// `options.recall_target` is outside `(0, 1]`, or if a forced
+    /// banding does not fit the family's signature.
+    pub fn similar_keys_with(
+        &self,
+        key: &str,
+        k: usize,
+        threshold: f64,
+        options: &QueryOptions,
+    ) -> Result<Vec<Neighbor>, StoreError> {
+        self.similar_keys_impl(key, k, threshold, options, |candidates| {
+            match options.verification {
+                Verification::Exact => self.exact_entries_for(key, candidates),
+                Verification::Approximate => self.approx_entries_for(key, candidates),
+            }
+        })
+    }
+
+    /// [`all_pairs`](Self::all_pairs) with full [`QueryOptions`]
+    /// control. The headline option is [`Verification::Approximate`]
+    /// (`QueryOptions::default().approximate()`): the sweep then skips
+    /// the exact joint estimator and reports the §3.3 D₀-based Jaccard
+    /// estimate from one register comparison per pair — for
+    /// latency-critical callers that can live with the §3.3 RMSE
+    /// envelope.
+    ///
+    /// # Panics
+    /// Panics if `threshold` is outside `[0, 1]`, if
+    /// `options.recall_target` is outside `(0, 1]`, or if a forced
+    /// banding does not fit the family's signature.
+    ///
+    /// # Errors
+    /// [`StoreError::Incompatible`] if verification meets a sketch
+    /// injected with mismatched parameters.
+    pub fn all_pairs_with(
+        &self,
+        threshold: f64,
+        options: &QueryOptions,
+    ) -> Result<Vec<SimilarPair>, StoreError> {
+        self.all_pairs_impl(threshold, options, |store| {
+            store.entries_for_mode(options.verification)
+        })
+    }
+
+    /// [`all_pairs_exhaustive`](Self::all_pairs_exhaustive) with
+    /// [`QueryOptions`] — of which the verification mode and worker
+    /// count apply (there is no banding stage to configure here).
+    ///
+    /// # Panics
+    /// Panics if `threshold` is outside `[0, 1]`.
+    ///
+    /// # Errors
+    /// [`StoreError::Incompatible`] if verification meets a sketch
+    /// injected with mismatched parameters.
+    pub fn all_pairs_exhaustive_with(
+        &self,
+        threshold: f64,
+        options: &QueryOptions,
+    ) -> Result<Vec<SimilarPair>, StoreError> {
+        check_threshold(threshold); // before the entry extraction
+        let entries = self.entries_for_mode(options.verification);
+        self.all_pairs_exhaustive_impl(threshold, options, entries)
+    }
+
+    /// Point-in-time verification inputs over the whole store, sorted
+    /// by key: sketch clones for exact verification, signature +
+    /// cardinality extractions (no clones) for approximate.
+    fn entries_for_mode(&self, verification: Verification) -> VerifyEntries<S> {
+        match verification {
+            Verification::Exact => self.exact_entries(),
+            Verification::Approximate => {
+                let mut rows: Vec<(String, Vec<u32>, f64)> = Vec::new();
+                for shard in self.shards() {
+                    let guard = shard.read();
+                    for (key, slot) in guard.iter() {
+                        let mut signature = Vec::new();
+                        slot.sketch.signature_into(&mut signature);
+                        rows.push((key.clone(), signature, slot.sketch.cardinality()));
+                    }
+                }
+                // Hash-ordered shard maps: sort so entry order matches
+                // the exact path's (and `keys()`'s) guarantee.
+                rows.sort_unstable_by(|a, b| a.0.cmp(&b.0));
+                let mut keys = Vec::with_capacity(rows.len());
+                let mut signatures = Vec::with_capacity(rows.len());
+                let mut cardinalities = Vec::with_capacity(rows.len());
+                for (key, signature, cardinality) in rows {
+                    keys.push(key);
+                    signatures.push(signature);
+                    cardinalities.push(cardinality);
+                }
+                VerifyEntries::Approximate {
+                    keys,
+                    signatures,
+                    cardinalities,
+                    jaccard_by_d0: self.collision_inverse_table(),
+                }
+            }
+        }
+    }
+
+    /// Approximate-verification inputs for a top-k query: signature +
+    /// cardinality extracted for the query key and every candidate
+    /// under the shard read locks, query first, no sketch clones.
+    fn approx_entries_for(
+        &self,
+        key: &str,
+        candidates: Vec<String>,
+    ) -> Result<VerifyEntries<S>, StoreError> {
+        let mut keys: Vec<String> = Vec::with_capacity(candidates.len() + 1);
+        let mut signatures: Vec<Vec<u32>> = Vec::with_capacity(candidates.len() + 1);
+        let mut cardinalities: Vec<f64> = Vec::with_capacity(candidates.len() + 1);
+        let mut extract = |name: String| {
+            let row = self.with_sketch(&name, |s| (s.signature(), s.cardinality()));
+            if let Some((signature, cardinality)) = row {
+                keys.push(name);
+                signatures.push(signature);
+                cardinalities.push(cardinality);
+                true
+            } else {
+                false
+            }
+        };
+        if !extract(key.to_owned()) {
+            return Err(StoreError::KeyNotFound(key.to_owned()));
+        }
+        for candidate in candidates {
+            extract(candidate);
+        }
+        Ok(VerifyEntries::Approximate {
+            keys,
+            signatures,
+            cardinalities,
+            jaccard_by_d0: self.collision_inverse_table(),
+        })
+    }
+}
+
 /// Resolves verified index-pair hits back to keyed [`SimilarPair`]s.
 fn pairs_from_hits<S>(
-    entries: &[(String, S)],
+    entries: &VerifyEntries<S>,
     hits: Vec<(u32, u32, JointQuantities)>,
 ) -> Vec<SimilarPair> {
     hits.into_iter()
         .map(|(a, b, quantities)| SimilarPair {
-            left: entries[a as usize].0.clone(),
-            right: entries[b as usize].0.clone(),
+            left: entries.key(a as usize).to_owned(),
+            right: entries.key(b as usize).to_owned(),
             quantities,
         })
         .collect()
@@ -444,6 +877,17 @@ fn check_threshold(threshold: f64) {
     assert!(
         (0.0..=1.0).contains(&threshold),
         "similarity threshold must be within [0, 1], got {threshold}"
+    );
+}
+
+/// Validates a banding recall target (checked wherever an index is
+/// tuned; an out-of-range or NaN value would otherwise silently defeat
+/// the index cache's operating-point match and re-band the store on
+/// every query).
+fn check_recall_target(target: f64) {
+    assert!(
+        target > 0.0 && target <= 1.0,
+        "banding recall target must be within (0, 1], got {target}"
     );
 }
 
@@ -458,10 +902,9 @@ enum Candidates<'a> {
 }
 
 impl Candidates<'_> {
-    /// The exhaustive candidate set over `entries`.
-    fn all<T>(entries: &[T]) -> Candidates<'static> {
-        let n = u32::try_from(entries.len())
-            .expect("store sizes beyond u32 keys are unsupported in sweeps");
+    /// The exhaustive candidate set over `n` entries.
+    fn all(n: usize) -> Candidates<'static> {
+        let n = u32::try_from(n).expect("store sizes beyond u32 keys are unsupported in sweeps");
         Candidates::Triangle(n)
     }
 
@@ -499,27 +942,128 @@ impl Candidates<'_> {
     }
 }
 
-/// Verifies candidate pairs with the exact joint estimator and keeps
-/// those at or above `threshold`, fanned out across worker threads.
+/// Point-in-time verification inputs of one sweep, shaped by the
+/// verification mode.
+///
+/// Exact verification needs the sketch states themselves (clones, so
+/// the sweep never holds shard locks). The §3.3 approximation only
+/// needs each entry's register signature and one cardinality estimate
+/// — both extracted under the shard read locks without cloning a
+/// single sketch, which is where most of its speedup over exact
+/// verification comes from at scale: the per-entry work happens once,
+/// not once per pair, and the snapshot clone disappears entirely.
+enum VerifyEntries<S> {
+    Exact(Vec<(String, S)>),
+    Approximate {
+        keys: Vec<String>,
+        signatures: Vec<Vec<u32>>,
+        cardinalities: Vec<f64>,
+        /// Inverse of the family's collision-probability curve,
+        /// tabulated over all `m + 1` possible D₀ values — a pair then
+        /// costs one vectorized register comparison and a table
+        /// lookup. Shared (`Arc`) with the store's once-computed cache.
+        jaccard_by_d0: std::sync::Arc<[f64]>,
+    },
+}
+
+/// Approximate verification met signatures of different lengths —
+/// sketches injected with mismatched configurations.
+#[derive(Debug)]
+struct SignatureMismatch {
+    left: usize,
+    right: usize,
+    expected: usize,
+}
+
+impl std::fmt::Display for SignatureMismatch {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "approximate verification needs {}-register signatures, got {} and {}",
+            self.expected, self.left, self.right
+        )
+    }
+}
+
+impl std::error::Error for SignatureMismatch {}
+
+impl<S> VerifyEntries<S> {
+    fn len(&self) -> usize {
+        match self {
+            VerifyEntries::Exact(entries) => entries.len(),
+            VerifyEntries::Approximate { keys, .. } => keys.len(),
+        }
+    }
+
+    fn key(&self, index: usize) -> &str {
+        match self {
+            VerifyEntries::Exact(entries) => &entries[index].0,
+            VerifyEntries::Approximate { keys, .. } => &keys[index],
+        }
+    }
+}
+
+impl<S: JointEstimator> VerifyEntries<S> {
+    /// The joint estimate of entry pair `(a, b)` under this mode.
+    fn verify(&self, a: u32, b: u32) -> Result<JointQuantities, StoreError> {
+        match self {
+            VerifyEntries::Exact(entries) => entries[a as usize]
+                .1
+                .joint(&entries[b as usize].1)
+                .map_err(StoreError::incompatible),
+            VerifyEntries::Approximate {
+                signatures,
+                cardinalities,
+                jaccard_by_d0,
+                ..
+            } => {
+                let (sig_a, sig_b) = (&signatures[a as usize], &signatures[b as usize]);
+                let m = jaccard_by_d0.len() - 1;
+                if sig_a.len() != m || sig_b.len() != m {
+                    return Err(StoreError::incompatible(SignatureMismatch {
+                        left: sig_a.len(),
+                        right: sig_b.len(),
+                        expected: m,
+                    }));
+                }
+                let (n_u, n_v) = (cardinalities[a as usize], cardinalities[b as usize]);
+                if m == 0 {
+                    return Ok(JointQuantities::from_estimated_jaccard(n_u, n_v, 0.0));
+                }
+                let counts = JointCounts::from_u32(sig_a, sig_b);
+                // from_estimated_jaccard applies the same degenerate
+                // and feasible-range handling as the per-pair
+                // from_collision_counts path.
+                Ok(JointQuantities::from_estimated_jaccard(
+                    n_u,
+                    n_v,
+                    jaccard_by_d0[counts.d0 as usize],
+                ))
+            }
+        }
+    }
+}
+
+/// Verifies candidate pairs under the entries' [`Verification`] mode
+/// and keeps those at or above `threshold`, fanned out across worker
+/// threads.
 ///
 /// Workers claim work units from an atomic cursor and collect hits into
 /// per-worker buffers, so there is no shared mutable state on the hot
 /// path; results are merged and sorted by index pair afterwards, making
-/// the output deterministic regardless of scheduling. The estimator is
-/// the family's exact one — the same code path as
-/// [`SketchStore::joint`] — so a pair's reported quantities are
-/// independent of how it became a candidate.
+/// the output deterministic regardless of scheduling. Under
+/// [`Verification::Exact`] the estimator is the family's exact one —
+/// the same code path as [`SketchStore::joint`] — so a pair's reported
+/// quantities are independent of how it became a candidate.
 fn verify_candidates<S: JointEstimator + Sync>(
-    entries: &[(String, S)],
+    entries: &VerifyEntries<S>,
     candidates: Candidates<'_>,
     threshold: f64,
+    options: &QueryOptions,
 ) -> Result<Vec<(u32, u32, JointQuantities)>, StoreError> {
     let verify_into =
         |a: u32, b: u32, hits: &mut Vec<(u32, u32, JointQuantities)>| -> Result<(), StoreError> {
-            let quantities = entries[a as usize]
-                .1
-                .joint(&entries[b as usize].1)
-                .map_err(StoreError::incompatible)?;
+            let quantities = entries.verify(a, b)?;
             if quantities.jaccard >= threshold {
                 hits.push((a, b, quantities));
             }
@@ -527,9 +1071,14 @@ fn verify_candidates<S: JointEstimator + Sync>(
         };
 
     let units = candidates.units();
-    let workers = std::thread::available_parallelism()
-        .map(|n| n.get())
-        .unwrap_or(1)
+    let workers = options
+        .threads
+        .unwrap_or_else(|| {
+            std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1)
+        })
+        .max(1)
         .min(units);
 
     let mut hits = if workers <= 1 {

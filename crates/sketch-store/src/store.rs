@@ -1,6 +1,8 @@
 //! The sharded concurrent sketch registry.
 
+use crate::builder::StoreBuilder;
 use crate::error::StoreError;
+use crate::pipeline::PipelineDefaults;
 use crate::query::SimilarityIndex;
 use crate::snapshot::StoreSnapshot;
 use parking_lot::{Mutex, RwLock};
@@ -32,7 +34,7 @@ pub(crate) type Shard<S> = RwLock<HashMap<String, Slot<S>>>;
 /// Seed of the key-routing hash (independent of any sketch's seed).
 const ROUTING_SEED: u64 = 0x5354_4f52_4b45_5953; // "STORKEYS"
 
-/// Default shard count of [`SketchStore::new`].
+/// Default shard count of [`StoreBuilder`]-constructed stores.
 pub const DEFAULT_SHARDS: usize = 16;
 
 /// A concurrent registry mapping string keys to sketches of one type.
@@ -58,7 +60,7 @@ pub const DEFAULT_SHARDS: usize = 16;
 /// use sketch_store::SketchStore;
 ///
 /// let config = SetSketchConfig::example_16bit();
-/// let store = SketchStore::new(move || SetSketch2::new(config, 42));
+/// let store = SketchStore::builder(move || SetSketch2::new(config, 42)).build();
 ///
 /// store.ingest("paris", &(0..10_000).collect::<Vec<u64>>());
 /// store.ingest("london", &(5_000..15_000).collect::<Vec<u64>>());
@@ -78,19 +80,51 @@ pub struct SketchStore<S> {
     factory: Box<dyn Fn() -> S + Send + Sync>,
     /// Monotonic write counter feeding the slots' version stamps.
     write_epoch: AtomicU64,
+    /// Pipeline knobs fixed at construction ([`StoreBuilder`]); applied
+    /// by every [`pipeline`](Self::pipeline) handle the store hands out.
+    pub(crate) pipeline_defaults: PipelineDefaults,
     /// Lazily built banding LSH indexes (most recently used first, one
     /// per queried threshold) over the stored sketches' signatures,
     /// maintained incrementally by the similarity query engine (see
     /// [`crate::query`]).
     pub(crate) similarity: Mutex<Vec<SimilarityIndex>>,
+    /// Lazily computed inverse of the factory configuration's
+    /// register-collision-probability curve, tabulated over all
+    /// `m + 1` possible D₀ values — shared by every approximate-mode
+    /// query (the curve is a configuration property, so the table
+    /// never changes for the store's lifetime).
+    pub(crate) collision_inverse: std::sync::OnceLock<std::sync::Arc<[f64]>>,
 }
 
 impl<S> SketchStore<S> {
+    /// Starts building a store around `factory`, the closure that builds
+    /// the empty sketch for every new key (fixing configuration and hash
+    /// seed). This is the one construction entry point; shard count,
+    /// ingest-pipeline depth and writer threads, and future knobs hang
+    /// off the returned [`StoreBuilder`].
+    ///
+    /// ```
+    /// use setsketch::{SetSketch2, SetSketchConfig};
+    /// use sketch_store::SketchStore;
+    ///
+    /// let config = SetSketchConfig::example_16bit();
+    /// let store = SketchStore::builder(move || SetSketch2::new(config, 42))
+    ///     .shards(32)
+    ///     .queue_depth(512)
+    ///     .writer_threads(4)
+    ///     .build();
+    /// assert_eq!(store.shard_count(), 32);
+    /// ```
+    pub fn builder(factory: impl Fn() -> S + Send + Sync + 'static) -> StoreBuilder<S> {
+        StoreBuilder::new(factory)
+    }
+
     /// Creates a store with [`DEFAULT_SHARDS`] shards; `factory` builds
     /// the empty sketch for every new key (fixing configuration and
     /// seed).
+    #[deprecated(note = "use `SketchStore::builder(factory).build()` instead")]
     pub fn new(factory: impl Fn() -> S + Send + Sync + 'static) -> Self {
-        Self::with_shards(DEFAULT_SHARDS, factory)
+        Self::builder(factory).build()
     }
 
     /// Creates a store with an explicit shard count (≥ 1). More shards
@@ -99,17 +133,29 @@ impl<S> SketchStore<S> {
     ///
     /// # Panics
     /// Panics if `shards == 0`.
+    #[deprecated(note = "use `SketchStore::builder(factory).shards(n).build()` instead")]
     pub fn with_shards(shards: usize, factory: impl Fn() -> S + Send + Sync + 'static) -> Self {
-        assert!(shards > 0, "store needs at least one shard");
+        Self::builder(factory).shards(shards).build()
+    }
+
+    /// Assembles the store from validated [`StoreBuilder`] parts.
+    pub(crate) fn from_parts(
+        shards: usize,
+        factory: Box<dyn Fn() -> S + Send + Sync>,
+        pipeline_defaults: PipelineDefaults,
+    ) -> Self {
+        debug_assert!(shards > 0, "builder validates the shard count");
         let shards = (0..shards)
             .map(|_| RwLock::new(HashMap::new()))
             .collect::<Vec<_>>()
             .into_boxed_slice();
         Self {
             shards,
-            factory: Box::new(factory),
+            factory,
             write_epoch: AtomicU64::new(0),
+            pipeline_defaults,
             similarity: Mutex::new(Vec::new()),
+            collision_inverse: std::sync::OnceLock::new(),
         }
     }
 
@@ -137,9 +183,10 @@ impl<S> SketchStore<S> {
     }
 
     /// Shard index a key routes to (multiply-shift over the routing
-    /// hash; uniform for any shard count).
+    /// hash; uniform for any shard count). Also the pipeline's routing
+    /// function, so one writer thread owns each shard's traffic.
     #[inline]
-    fn shard_index(&self, key: &str) -> usize {
+    pub(crate) fn shard_index(&self, key: &str) -> usize {
         let hash = hash_bytes(key.as_bytes(), ROUTING_SEED);
         (((hash as u128) * (self.shards.len() as u128)) >> 64) as usize
     }
@@ -281,6 +328,18 @@ impl<S: Sketch> SketchStore<S> {
     pub fn insert_bytes(&self, key: &str, element: &[u8]) {
         self.with_entry(key, |sketch| sketch.insert_bytes(element));
     }
+
+    /// Records a batch of byte-string elements under `key`, creating the
+    /// sketch on first use — the byte-side mirror of
+    /// [`ingest`](Self::ingest): one lock acquisition (and one version
+    /// stamp) for the whole batch instead of one per element.
+    pub fn ingest_bytes(&self, key: &str, elements: &[&[u8]]) {
+        self.with_entry(key, |sketch| {
+            for &element in elements {
+                sketch.insert_bytes(element);
+            }
+        });
+    }
 }
 
 impl<S: BatchInsert> SketchStore<S> {
@@ -326,7 +385,7 @@ impl<S: Clone> SketchStore<S> {
         snapshot: StoreSnapshot<S>,
         factory: impl Fn() -> S + Send + Sync + 'static,
     ) -> Self {
-        let store = Self::with_shards(snapshot.shard_count, factory);
+        let store = Self::builder(factory).shards(snapshot.shard_count).build();
         for (key, sketch) in snapshot.entries {
             let version = store.next_version();
             store

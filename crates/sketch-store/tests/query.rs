@@ -11,7 +11,9 @@ fn config() -> SetSketchConfig {
 
 fn store_with_shards(shards: usize) -> SketchStore<SetSketch1> {
     let cfg = config();
-    SketchStore::with_shards(shards, move || SetSketch1::new(cfg, 42))
+    SketchStore::builder(move || SetSketch1::new(cfg, 42))
+        .shards(shards)
+        .build()
 }
 
 /// `count` elements of a deterministic stream starting at `start`.
@@ -255,4 +257,73 @@ fn keys_and_snapshot_order_is_sorted_for_any_shard_count() {
 fn rejects_out_of_range_threshold() {
     let store = clustered_store();
     let _ = store.all_pairs(1.5);
+}
+
+/// A sketch family without cardinality estimation can still use the
+/// exact-mode query surface: the `CardinalityEstimator` bound gates
+/// only the `*_with` variants (which may select approximate
+/// verification), not the original query signatures.
+#[test]
+fn exact_queries_compile_without_cardinality_estimator() {
+    #[derive(Clone, PartialEq, Debug, Default)]
+    struct NoCard(std::collections::BTreeSet<u64>);
+    impl sketch_core::Sketch for NoCard {
+        fn insert_u64(&mut self, element: u64) {
+            self.0.insert(element);
+        }
+        fn insert_bytes(&mut self, bytes: &[u8]) {
+            let mut h = 0u64;
+            for &b in bytes {
+                h = h.wrapping_mul(31).wrapping_add(b as u64);
+            }
+            self.0.insert(h | 1 << 63);
+        }
+    }
+    impl sketch_core::Mergeable for NoCard {
+        type MergeError = std::convert::Infallible;
+        fn is_compatible(&self, _other: &Self) -> bool {
+            true
+        }
+        fn merge_from(&mut self, other: &Self) -> Result<(), Self::MergeError> {
+            self.0.extend(&other.0);
+            Ok(())
+        }
+    }
+    impl sketch_core::JointEstimator for NoCard {
+        type JointError = std::convert::Infallible;
+        fn joint(&self, other: &Self) -> Result<sketch_core::JointQuantities, Self::JointError> {
+            let inter = self.0.intersection(&other.0).count() as f64;
+            let union = self.0.union(&other.0).count() as f64;
+            let jaccard = if union > 0.0 { inter / union } else { 0.0 };
+            Ok(sketch_core::JointQuantities::new(
+                self.0.len() as f64,
+                other.0.len() as f64,
+                jaccard,
+            ))
+        }
+    }
+    impl sketch_core::Signature for NoCard {
+        fn signature_len(&self) -> usize {
+            8
+        }
+        fn signature_into(&self, out: &mut Vec<u32>) {
+            out.clear();
+            out.resize(8, 0);
+            for &e in &self.0 {
+                out[(e % 8) as usize] ^= e as u32;
+            }
+        }
+    }
+
+    let store = SketchStore::builder(NoCard::default).build();
+    store.insert("a", 1);
+    store.insert("a", 2);
+    store.insert("b", 2);
+    store.build_similarity_index(0.5);
+    let pairs = store.all_pairs(0.0).unwrap();
+    assert_eq!(pairs.len(), 1);
+    assert!((pairs[0].quantities.jaccard - 0.5).abs() < 1e-12);
+    assert_eq!(store.all_pairs_exhaustive(0.0).unwrap(), pairs);
+    let neighbors = store.similar_keys_at("a", 1, 0.5).unwrap();
+    assert_eq!(neighbors[0].key, "b");
 }

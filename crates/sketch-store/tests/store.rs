@@ -11,7 +11,9 @@ fn config() -> SetSketchConfig {
 
 fn setsketch_store(shards: usize) -> SketchStore<SetSketch2> {
     let cfg = config();
-    SketchStore::with_shards(shards, move || SetSketch2::new(cfg, 11))
+    SketchStore::builder(move || SetSketch2::new(cfg, 11))
+        .shards(shards)
+        .build()
 }
 
 #[test]
@@ -162,7 +164,7 @@ fn remove_and_clear() {
 fn works_with_other_sketch_families() {
     // GHLL (HyperLogLog).
     let ghll_cfg = GhllConfig::hyperloglog(256).unwrap();
-    let store = SketchStore::new(move || GhllSketch::new(ghll_cfg, 5));
+    let store = SketchStore::builder(move || GhllSketch::new(ghll_cfg, 5)).build();
     store.ingest("big", &(0..50_000).collect::<Vec<_>>());
     store.ingest("other", &(25_000..75_000).collect::<Vec<_>>());
     let card = store.cardinality("big").unwrap();
@@ -170,7 +172,7 @@ fn works_with_other_sketch_families() {
     assert!(store.jaccard("big", "other").is_ok());
 
     // MinHash.
-    let store = SketchStore::new(|| MinHash::new(512, 9));
+    let store = SketchStore::builder(|| MinHash::new(512, 9)).build();
     store.ingest("u", &(0..2_000).collect::<Vec<_>>());
     store.ingest("v", &(1_000..3_000).collect::<Vec<_>>());
     let j = store.jaccard("u", "v").unwrap();
@@ -178,7 +180,7 @@ fn works_with_other_sketch_families() {
 
     // SetSketch1 too (the other register-value construction).
     let cfg = config();
-    let store = SketchStore::new(move || SetSketch1::new(cfg, 13));
+    let store = SketchStore::builder(move || SetSketch1::new(cfg, 13)).build();
     store.ingest("s", &(0..1_000).collect::<Vec<_>>());
     assert!(store.cardinality("s").is_ok());
 }
@@ -209,4 +211,42 @@ fn concurrent_ingest_from_many_threads() {
         }
         assert_eq!(store.get(key).unwrap(), reference, "key {key}");
     }
+}
+
+#[test]
+fn ingest_bytes_mirrors_insert_bytes() {
+    let store = setsketch_store(4);
+    let elements: Vec<Vec<u8>> = (0..200u32).map(|i| i.to_be_bytes().to_vec()).collect();
+    let slices: Vec<&[u8]> = elements.iter().map(Vec::as_slice).collect();
+    store.ingest_bytes("batched", &slices);
+
+    let looped = setsketch_store(4);
+    for slice in &slices {
+        looped.insert_bytes("looped", slice);
+    }
+    assert_eq!(store.get("batched"), looped.get("looped"));
+
+    // Empty batches still create the key (like `ingest`).
+    store.ingest_bytes("empty", &[]);
+    assert!(store.contains_key("empty"));
+}
+
+/// The pre-builder constructors must keep working as thin deprecated
+/// wrappers: same defaults, same behavior.
+#[test]
+#[allow(deprecated)]
+fn deprecated_constructors_still_work() {
+    let cfg = config();
+    let store = SketchStore::new(move || SetSketch2::new(cfg, 11));
+    assert_eq!(store.shard_count(), sketch_store::DEFAULT_SHARDS);
+    store.ingest("a", &(0..500).collect::<Vec<_>>());
+
+    let sharded = SketchStore::with_shards(3, move || SetSketch2::new(cfg, 11));
+    assert_eq!(sharded.shard_count(), 3);
+    sharded.ingest("a", &(0..500).collect::<Vec<_>>());
+    assert_eq!(store.get("a"), sharded.get("a"));
+
+    let built = setsketch_store(3);
+    built.ingest("a", &(0..500).collect::<Vec<_>>());
+    assert_eq!(built.get("a"), sharded.get("a"));
 }

@@ -1,52 +1,110 @@
 //! A miniature sketch-serving service on top of [`sketch_store`].
 //!
-//! The shape mirrors `streaming_shards`, one layer up: instead of one
-//! sketch per worker, a fleet of ingest workers feeds *named* sketches
-//! (one per tenant) in a shared concurrent store, while the query side
-//! answers cardinality, similarity and union questions and ships a
-//! point-in-time snapshot of the whole store as JSON.
+//! The shape mirrors `streaming_shards`, one layer up: a fleet of
+//! ingest workers feeds *named* sketches (one per tenant) in a shared
+//! concurrent store, while the query side answers cardinality,
+//! similarity and union questions and ships a point-in-time snapshot of
+//! the whole store as JSON.
+//!
+//! This example exercises the store's front door end to end:
+//!
+//! 1. **Builder construction** — `SketchStore::builder(factory)` with
+//!    explicit shard, queue-depth and writer-thread knobs.
+//! 2. **Pipelined ingest** — request threads enqueue into the
+//!    `IngestPipeline` (bounded queues, dedicated writer threads,
+//!    backpressure) instead of applying sketch updates themselves; a
+//!    scoped-thread synchronous pass over the same workload is kept as
+//!    the comparison path, and both must produce identical states.
+//! 3. **Typed query options** — the all-pairs similarity sweep runs
+//!    once with exact verification and once in the §3.3 D₀-based
+//!    approximate-quantity mode (`QueryOptions::default().approximate()`).
 //!
 //! Run with `cargo run --release --example store_service`.
 
 use setsketch::{SetSketch2, SetSketchConfig};
 use sketch_rand::mix64;
-use sketch_store::SketchStore;
+use sketch_store::{QueryOptions, SketchStore};
+use std::time::Instant;
 
 const TENANTS: [&str; 4] = ["search", "ads", "mail", "maps"];
 const WORKERS: u64 = 8;
 const BATCHES_PER_WORKER: u64 = 40;
 const BATCH: u64 = 2_000;
 
+/// Tenant t records users whose id is divisible by (t + 1): nested
+/// subsets with known overlaps.
+fn tenant_events(worker: u64, batch: u64, tenant: usize) -> Vec<u64> {
+    let offset = (worker * BATCHES_PER_WORKER + batch) * BATCH;
+    (offset..offset + BATCH)
+        .map(|i| mix64(i) % 1_000_000)
+        .filter(|user| user % (tenant as u64 + 1) == 0)
+        .collect()
+}
+
 fn main() {
     let config = SetSketchConfig::example_16bit();
-    let store = SketchStore::with_shards(8, move || SetSketch2::new(config, 42));
 
-    // --- Ingest: 8 workers, all writing every tenant concurrently. ----
-    // Tenants overlap: "ads" sees a subset of "search" users, etc.
+    // --- Construction: the builder is the store's one front door. ----
+    let store = SketchStore::builder(move || SetSketch2::new(config, 42))
+        .shards(8)
+        .queue_depth(256)
+        .writer_threads(2)
+        .build_shared();
+
+    // --- Ingest, pipelined: 8 producers enqueue, 2 writers apply. ----
+    // Producers never touch a shard lock; full queues block them
+    // (backpressure) instead of growing memory.
+    let pipelined = Instant::now();
+    let pipeline = store.clone().pipeline();
     std::thread::scope(|scope| {
         for worker in 0..WORKERS {
-            let store = &store;
+            let pipeline = &pipeline;
             scope.spawn(move || {
                 for batch in 0..BATCHES_PER_WORKER {
-                    let offset = (worker * BATCHES_PER_WORKER + batch) * BATCH;
                     for (t, tenant) in TENANTS.iter().enumerate() {
-                        // Tenant t records users whose id is divisible by
-                        // (t + 1): nested subsets with known overlaps.
-                        let events: Vec<u64> = (offset..offset + BATCH)
-                            .map(|i| mix64(i) % 1_000_000)
-                            .filter(|user| user % (t as u64 + 1) == 0)
-                            .collect();
-                        store.ingest(tenant, &events);
+                        pipeline.ingest(tenant, &tenant_events(worker, batch, t));
                     }
                 }
             });
         }
     });
+    pipeline.flush(); // every enqueued batch is applied past this point
+    let pipelined = pipelined.elapsed();
 
+    // --- The same workload, synchronously (the comparison path). -----
+    // Scoped threads apply sketch updates themselves under shard locks;
+    // idempotent + commutative inserts make the final states identical.
+    let sync_store = SketchStore::builder(move || SetSketch2::new(config, 42))
+        .shards(8)
+        .build();
+    let synchronous = Instant::now();
+    std::thread::scope(|scope| {
+        for worker in 0..WORKERS {
+            let sync_store = &sync_store;
+            scope.spawn(move || {
+                for batch in 0..BATCHES_PER_WORKER {
+                    for (t, tenant) in TENANTS.iter().enumerate() {
+                        sync_store.ingest(tenant, &tenant_events(worker, batch, t));
+                    }
+                }
+            });
+        }
+    });
+    let synchronous = synchronous.elapsed();
+
+    for tenant in TENANTS {
+        assert_eq!(
+            store.get(tenant),
+            sync_store.get(tenant),
+            "pipelined and synchronous ingest must agree"
+        );
+    }
     println!(
-        "ingested {} tenants on {} shards",
+        "ingested {} tenants on {} shards: pipelined {:.0} ms (2 writers) vs synchronous {:.0} ms — identical states",
         store.len(),
-        store.shard_count()
+        store.shard_count(),
+        pipelined.as_secs_f64() * 1e3,
+        synchronous.as_secs_f64() * 1e3,
     );
     println!();
 
@@ -69,6 +127,27 @@ fn main() {
             joint.jaccard,
             1.0 / (t as f64 + 1.0),
             joint.intersection,
+        );
+    }
+    println!();
+
+    // All-pairs sweep, exact vs the §3.3 approximate-quantity mode.
+    let exact = store.all_pairs(0.4).expect("compatible");
+    let approx = store
+        .all_pairs_with(0.4, &QueryOptions::default().approximate())
+        .expect("compatible");
+    println!("all_pairs(J >= 0.4), exact verification:");
+    for pair in &exact {
+        println!(
+            "  {} ~ {}  J = {:.3}",
+            pair.left, pair.right, pair.quantities.jaccard
+        );
+    }
+    println!("same sweep, Verification::Approximate (D₀-based, §3.3):");
+    for pair in &approx {
+        println!(
+            "  {} ~ {}  J ≈ {:.3}",
+            pair.left, pair.right, pair.quantities.jaccard
         );
     }
     println!();

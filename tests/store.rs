@@ -42,7 +42,7 @@ fn assert_concurrent_matches_sequential<S>(factory: impl Fn() -> S + Clone + Sen
 where
     S: BatchInsert + Mergeable + Clone + PartialEq + std::fmt::Debug + Send + Sync,
 {
-    let store = SketchStore::with_shards(4, factory.clone());
+    let store = SketchStore::builder(factory.clone()).shards(4).build();
     std::thread::scope(|scope| {
         for t in 0..THREADS {
             let store = &store;
@@ -120,7 +120,7 @@ fn concurrent_ingest_thetasketch() {
 fn concurrent_estimates_match_reference_within_tolerance() {
     let cfg = SetSketchConfig::new(1024, 2.0, 20.0, 62).unwrap();
     let factory = move || SetSketch2::new(cfg, 9);
-    let store = SketchStore::with_shards(8, factory);
+    let store = SketchStore::builder(factory).shards(8).build();
     std::thread::scope(|scope| {
         for t in 0..THREADS {
             let store = &store;
@@ -144,7 +144,7 @@ fn concurrent_estimates_match_reference_within_tolerance() {
 
     // Jaccard of two keys with disjoint element spaces is 0; of a key
     // with itself 1. Also check against a single-threaded twin store.
-    let twin = SketchStore::with_shards(8, factory);
+    let twin = SketchStore::builder(factory).shards(8).build();
     for (k, key) in KEYS.iter().enumerate() {
         for t in 0..THREADS {
             twin.ingest(key, &thread_elements(t, k));
@@ -216,7 +216,7 @@ fn generic_pipeline_over_families() {
 #[test]
 fn store_surfaces_mismatch_details() {
     let cfg = SetSketchConfig::new(128, 2.0, 20.0, 62).unwrap();
-    let store = SketchStore::new(move || SetSketch1::new(cfg, 10));
+    let store = SketchStore::builder(move || SetSketch1::new(cfg, 10)).build();
     store.ingest("local", &(0..500).collect::<Vec<_>>());
 
     let other_cfg = SetSketchConfig::new(256, 2.0, 20.0, 62).unwrap();

@@ -35,7 +35,7 @@ where
     S: BatchInsert + Mergeable + Clone + PartialEq + std::fmt::Debug + Send + Sync,
 {
     // Thread t writes key "k{t % 2}": threads 0/2 and 1/3 collide.
-    let store = SketchStore::with_shards(4, factory.clone());
+    let store = SketchStore::builder(factory.clone()).shards(4).build();
     std::thread::scope(|scope| {
         for (t, batch) in batches.iter().enumerate() {
             let store = &store;
@@ -124,7 +124,7 @@ proptest! {
         shards in 1usize..6,
     ) {
         let cfg = SetSketchConfig::new(64, 2.0, 20.0, 62).unwrap();
-        let store = SketchStore::with_shards(shards, move || SetSketch2::new(cfg, 9));
+        let store = SketchStore::builder(move || SetSketch2::new(cfg, 9)).shards(shards).build();
         for (i, batch) in batches.iter().enumerate() {
             store.ingest(&format!("key-{i}"), batch);
         }
@@ -139,7 +139,7 @@ proptest! {
             prop_assert_eq!(restored.get(&key), store.get(&key));
         }
 
-        let mh_store = SketchStore::with_shards(shards, || MinHash::new(64, 3));
+        let mh_store = SketchStore::builder(|| MinHash::new(64, 3)).shards(shards).build();
         for (i, batch) in batches.iter().enumerate() {
             mh_store.ingest(&format!("key-{i}"), batch);
         }

@@ -27,7 +27,9 @@ fn keyed_batches() -> impl Strategy<Value = Vec<Vec<u64>>> {
 
 fn setsketch_store(shards: usize) -> SketchStore<SetSketch1> {
     let cfg = SetSketchConfig::new(64, 1.001, 20.0, (1 << 16) - 2).unwrap();
-    SketchStore::with_shards(shards, move || SetSketch1::new(cfg, 11))
+    SketchStore::builder(move || SetSketch1::new(cfg, 11))
+        .shards(shards)
+        .build()
 }
 
 proptest! {
@@ -81,7 +83,7 @@ proptest! {
     fn minhash_pruned_all_pairs_at_zero_equals_exhaustive(
         batches in keyed_batches(),
     ) {
-        let store = SketchStore::with_shards(3, || MinHash::new(64, 5));
+        let store = SketchStore::builder(|| MinHash::new(64, 5)).shards(3).build();
         for (i, batch) in batches.iter().enumerate() {
             store.ingest(&format!("key-{i:02}"), batch);
         }

@@ -72,6 +72,32 @@ pub trait Strategy {
 
     /// Produces one random value.
     fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Maps generated values through `map` (the real proptest's
+    /// `prop_map`, minus shrinking).
+    fn prop_map<T, F: Fn(Self::Value) -> T>(self, map: F) -> Map<Self, F>
+    where
+        Self: Sized,
+    {
+        Map {
+            strategy: self,
+            map,
+        }
+    }
+}
+
+/// Strategy returned by [`Strategy::prop_map`].
+pub struct Map<S, F> {
+    strategy: S,
+    map: F,
+}
+
+impl<S: Strategy, T, F: Fn(S::Value) -> T> Strategy for Map<S, F> {
+    type Value = T;
+
+    fn generate(&self, rng: &mut TestRng) -> T {
+        (self.map)(self.strategy.generate(rng))
+    }
 }
 
 impl<S: Strategy + ?Sized> Strategy for &S {
