@@ -225,6 +225,37 @@ impl GhllSketch {
         self.k_low
     }
 
+    /// Bytes this sketch keeps resident in memory: the inline struct
+    /// plus the register array. The `Arc`'d power table is excluded
+    /// (shared across every sketch of a configuration).
+    pub fn memory_footprint(&self) -> usize {
+        std::mem::size_of::<Self>() + 4 * self.registers.capacity()
+    }
+
+    /// An empty sketch sharing this sketch's configuration, seed, power
+    /// table and tracking mode (tiered-storage rehydration scaffold).
+    pub(crate) fn empty_like(&self) -> Self {
+        Self {
+            registers: vec![0; self.config.m()],
+            table: self.table.clone(),
+            config: self.config,
+            seed: self.seed,
+            lower_bound_tracking: self.lower_bound_tracking,
+            k_low: 0,
+            modifications: 0,
+        }
+    }
+
+    /// Replaces the register contents (tiered-storage rehydration);
+    /// recomputes the tracked lower bound when tracking is enabled.
+    pub(crate) fn load_registers(&mut self, values: Vec<u32>) {
+        debug_assert_eq!(values.len(), self.registers.len());
+        self.registers = values;
+        if self.lower_bound_tracking {
+            self.rescan_lower_bound();
+        }
+    }
+
     /// Checks configuration and seed compatibility.
     pub fn is_compatible(&self, other: &Self) -> bool {
         self.config == other.config && self.seed == other.seed

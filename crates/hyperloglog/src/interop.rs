@@ -8,10 +8,38 @@
 
 use crate::ghll::{GhllSketch, IncompatibleGhll};
 use sketch_core::{
-    BatchInsert, CardinalityEstimator, JointEstimator, JointQuantities, Mergeable, Signature,
-    Sketch,
+    BatchInsert, CardinalityEstimator, CompactSketch, JointEstimator, JointQuantities, Mergeable,
+    Signature, Sketch,
 };
+use sketch_math::bitpack::{pack_offsets, unpack_offsets, BitPackError};
 use sketch_rand::hash_bytes;
+
+impl CompactSketch for GhllSketch {
+    type CompactError = BitPackError;
+
+    /// Registers as offsets from their minimum plus a sparse exception
+    /// list ([`sketch_math::bitpack::pack_offsets`]) — for classic HLL
+    /// configurations (b = 2, q = 62) registers concentrate in a narrow
+    /// band, compressing 4–8× against the resident `u32` array.
+    fn compress(&self) -> Vec<u8> {
+        pack_offsets(self.registers())
+    }
+
+    /// Rebuilds the sketch around the prototype's configuration, seed,
+    /// shared power table and lower-bound-tracking mode; the tracked
+    /// bound is rescanned from the decoded registers.
+    fn decompress(prototype: &Self, bytes: &[u8]) -> Result<Self, BitPackError> {
+        let config = prototype.config();
+        let registers = unpack_offsets(bytes, config.m(), config.q() + 1)?;
+        let mut sketch = prototype.empty_like();
+        sketch.load_registers(registers);
+        Ok(sketch)
+    }
+
+    fn resident_bytes(&self) -> usize {
+        self.memory_footprint()
+    }
+}
 
 impl Sketch for GhllSketch {
     fn insert_u64(&mut self, element: u64) {

@@ -8,40 +8,15 @@
 //! shuffling lives in [`sketch_math::bitpack`], shared with the GHLL codec.
 
 use bytes::Bytes;
-use sketch_math::bitpack::{self, BitPackError};
+use sketch_math::bitpack;
 
 /// Errors raised when decoding packed registers.
-#[derive(Debug, Clone, PartialEq, Eq)]
-pub enum CodecError {
-    /// The byte buffer is shorter than `ceil(m * bits / 8)`.
-    Truncated,
-    /// A decoded register value exceeds the configured maximum.
-    ValueOutOfRange,
-    /// Unsupported bit width (must be 1..=32).
-    InvalidBitWidth,
-}
-
-impl std::fmt::Display for CodecError {
-    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        match self {
-            CodecError::Truncated => write!(f, "packed register buffer is truncated"),
-            CodecError::ValueOutOfRange => write!(f, "register value exceeds maximum"),
-            CodecError::InvalidBitWidth => write!(f, "bit width must be between 1 and 32"),
-        }
-    }
-}
-
-impl std::error::Error for CodecError {}
-
-impl From<BitPackError> for CodecError {
-    fn from(e: BitPackError) -> Self {
-        match e {
-            BitPackError::Truncated => CodecError::Truncated,
-            BitPackError::ValueOutOfRange => CodecError::ValueOutOfRange,
-            BitPackError::InvalidBitWidth => CodecError::InvalidBitWidth,
-        }
-    }
-}
+///
+/// The one bit-packing error type of the workspace: the codec is a thin
+/// wrapper over [`sketch_math::bitpack`], so its error *is*
+/// [`BitPackError`](sketch_math::bitpack::BitPackError) rather than a
+/// mirrored enum needing lossy conversion.
+pub type CodecError = bitpack::BitPackError;
 
 /// Packs register values into `bits` bits each (little-endian bit order).
 ///
@@ -59,7 +34,31 @@ pub fn unpack_registers(
     bits: u32,
     max_value: u32,
 ) -> Result<Vec<u32>, CodecError> {
-    bitpack::unpack_bits(bytes, m, bits, max_value).map_err(CodecError::from)
+    bitpack::unpack_bits(bytes, m, bits, max_value)
+}
+
+/// Compresses registers as offsets from their minimum — the sketch's
+/// `K_low` lower bound (paper §4) — plus a sparse exception list for
+/// outliers, after HyperLogLogLog. This is the warm-tier representation
+/// of stored SetSketches: for base-2 configurations registers
+/// concentrate within a few values of `K_low`, so offsets pack into 2–4
+/// bits each against 32 bits resident.
+///
+/// Round-trips bit-for-bit through [`decompress_registers`]. The byte
+/// layout is [`sketch_math::bitpack::pack_offsets`]'s.
+pub fn compress_registers(values: &[u32]) -> Bytes {
+    Bytes::from(bitpack::pack_offsets(values))
+}
+
+/// Decompresses a [`compress_registers`] buffer back into `m` register
+/// values, validating each against `max_value` (`q + 1` for a SetSketch
+/// configuration).
+pub fn decompress_registers(
+    bytes: &[u8],
+    m: usize,
+    max_value: u32,
+) -> Result<Vec<u32>, CodecError> {
+    bitpack::unpack_offsets(bytes, m, max_value)
 }
 
 #[cfg(test)]
@@ -134,19 +133,34 @@ mod tests {
     }
 
     #[test]
-    fn error_conversion_covers_all_variants() {
-        use sketch_math::bitpack::BitPackError;
+    fn codec_error_is_the_bitpack_error() {
+        // One packing substrate, one error type: the codec's error is
+        // sketch_math's, not a mirrored enum.
+        fn take(e: sketch_math::bitpack::BitPackError) -> CodecError {
+            e
+        }
         assert_eq!(
-            CodecError::from(BitPackError::Truncated),
+            take(sketch_math::bitpack::BitPackError::Truncated),
             CodecError::Truncated
         );
+    }
+
+    #[test]
+    fn offset_compression_roundtrips() {
+        let values: Vec<u32> = (0..4096u32)
+            .map(|i| 37 + (i % 5) + if i % 211 == 0 { 40 } else { 0 })
+            .collect();
+        let packed = compress_registers(&values);
         assert_eq!(
-            CodecError::from(BitPackError::ValueOutOfRange),
-            CodecError::ValueOutOfRange
+            decompress_registers(&packed, values.len(), 100).unwrap(),
+            values
         );
+        // ≥ 2.5× smaller than the resident u32 registers — the warm-tier
+        // acceptance bar (in practice ~8× for concentrated registers).
+        assert!(packed.len() * 5 < values.len() * 4 * 2);
         assert_eq!(
-            CodecError::from(BitPackError::InvalidBitWidth),
-            CodecError::InvalidBitWidth
+            decompress_registers(&packed, values.len(), 50),
+            Err(CodecError::ValueOutOfRange)
         );
     }
 }

@@ -218,6 +218,21 @@ impl<S: ValueSequence> SetSketch<S> {
         &self.table
     }
 
+    /// Bytes this sketch keeps resident in memory: the inline struct
+    /// plus its per-sketch heap allocations (registers, estimator
+    /// histogram, shuffle scratch, batch scratch). Configuration-level
+    /// state shared across sketches — the `Arc`'d power table and
+    /// interval boundaries — is excluded, so demoting a sketch to a
+    /// compressed tier reclaims (at least) this many bytes.
+    pub fn memory_footprint(&self) -> usize {
+        std::mem::size_of::<Self>()
+            + 4 * self.registers.capacity()
+            + 4 * self.histogram.capacity()
+            + 8 * self.batch_scratch.capacity()
+            // IncrementalShuffle keeps two m-length u32 arrays.
+            + 8 * self.config.m()
+    }
+
     /// True if no register has ever been modified (O(1) when the
     /// histogram is maintained).
     pub fn is_unused(&self) -> bool {

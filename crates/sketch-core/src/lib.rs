@@ -20,7 +20,10 @@
 //!   idempotent, commutative union merging;
 //! * [`CardinalityEstimator`] — distinct-count estimation;
 //! * [`JointEstimator`] — two-sketch joint estimation (Jaccard,
-//!   intersection, union, …) returning the full [`JointQuantities`].
+//!   intersection, union, …) returning the full [`JointQuantities`];
+//! * [`CompactSketch`] — lossless compressed byte representations, the
+//!   contract behind the sketch store's warm/frozen memory tiers
+//!   ([`compact`] module).
 //!
 //! The traits are implemented by `SetSketch1`/`SetSketch2`, the GHLL
 //! sketch (HyperLogLog), the MinHash family (`MinHash`, `SuperMinHash`,
@@ -96,6 +99,11 @@
 
 #![warn(missing_docs)]
 
+pub mod compact;
+
+pub use compact::CompactSketch;
+#[cfg(feature = "serde")]
+pub use compact::{serde_compress, serde_decompress, SerdeCompactError};
 // Re-exported so downstream code can name the joint-estimation result
 // and register-comparison types without depending on sketch-math
 // directly.

@@ -39,7 +39,7 @@ pub mod xi;
 pub mod zeta;
 
 pub use binomial::BinomialPmf;
-pub use bitpack::{pack_bits, unpack_bits, BitPackError};
+pub use bitpack::{pack_bits, pack_offsets, unpack_bits, unpack_offsets, BitPackError};
 pub use brent::{maximize, minimize, Extremum};
 pub use fisher::{fisher_information, fisher_information_b1, jaccard_rmse_theory};
 pub use joint::{

@@ -5,11 +5,23 @@
 //! hash seed for every sketch the store creates), everything else is an
 //! optional knob with a production-minded default. Centralizing the
 //! knobs here keeps the store's constructor surface stable as new ones
-//! (eviction policies, snapshot spill, …) arrive: they become builder
-//! methods instead of constructor variants.
+//! arrive: they become builder methods instead of constructor variants.
+//!
+//! The memory-tier knobs ([`memory_budget_bytes`], [`demote_after_writes`],
+//! [`spill_dir`]) require the sketch type to implement
+//! [`CompactSketch`] — setting either of the first two installs the
+//! family's compression codec and turns the tier manager on; a store
+//! built without them keeps every sketch resident and pays nothing.
+//!
+//! [`memory_budget_bytes`]: StoreBuilder::memory_budget_bytes
+//! [`demote_after_writes`]: StoreBuilder::demote_after_writes
+//! [`spill_dir`]: StoreBuilder::spill_dir
 
 use crate::pipeline::{PipelineDefaults, DEFAULT_QUEUE_DEPTH, DEFAULT_WRITER_THREADS};
 use crate::store::{SketchStore, DEFAULT_SHARDS};
+use crate::tier::{TierCodec, TierPolicy};
+use sketch_core::CompactSketch;
+use std::path::PathBuf;
 use std::sync::Arc;
 
 /// Configures and builds a [`SketchStore`].
@@ -30,9 +42,31 @@ use std::sync::Arc;
 /// store.ingest("key", &[1, 2, 3]);
 /// assert_eq!(store.len(), 1);
 /// ```
+///
+/// With tiering — cold keys compress in place, and spill to disk when
+/// the budget is still exceeded:
+///
+/// ```
+/// use setsketch::{SetSketch2, SetSketchConfig};
+/// use sketch_store::SketchStore;
+///
+/// let config = SetSketchConfig::new(4096, 2.0, 20.0, 62).unwrap();
+/// let store = SketchStore::builder(move || SetSketch2::new(config, 42))
+///     .memory_budget_bytes(256 * 1024) // hot + warm ceiling
+///     .demote_after_writes(64)         // periodic cold-key compression
+///     .build();
+/// for key in 0..100 {
+///     store.ingest(&format!("key-{key}"), &(0..50).collect::<Vec<u64>>());
+/// }
+/// let stats = store.tier_stats();
+/// assert_eq!(stats.total_keys(), 100);
+/// assert!(stats.resident_bytes() <= 2 * 256 * 1024);
+/// ```
 pub struct StoreBuilder<S> {
     shards: usize,
     pipeline: PipelineDefaults,
+    tier: TierPolicy,
+    codec: Option<TierCodec<S>>,
     factory: Box<dyn Fn() -> S + Send + Sync>,
 }
 
@@ -45,6 +79,8 @@ impl<S> StoreBuilder<S> {
                 queue_depth: DEFAULT_QUEUE_DEPTH,
                 writer_threads: DEFAULT_WRITER_THREADS,
             },
+            tier: TierPolicy::default(),
+            codec: None,
             factory: Box::new(factory),
         }
     }
@@ -76,6 +112,57 @@ impl<S> StoreBuilder<S> {
         self
     }
 
+    /// Ceiling on the store's resident bytes (hot sketches plus warm
+    /// compressed payloads). Exceeding it triggers the second-chance
+    /// clock scan, which compresses cold keys in place and — while
+    /// still over budget — spills them to disk. The ceiling is a
+    /// target, not a hard cap: a burst of writes can transiently
+    /// overshoot until the next scan catches up.
+    ///
+    /// Enables the memory-tier manager (hence the [`CompactSketch`]
+    /// bound — the family must provide a compression codec).
+    ///
+    /// # Panics
+    /// Panics if `bytes == 0`.
+    pub fn memory_budget_bytes(mut self, bytes: usize) -> Self
+    where
+        S: CompactSketch,
+    {
+        assert!(bytes > 0, "memory budget must be at least one byte");
+        self.tier.memory_budget_bytes = Some(bytes);
+        self.codec = Some(TierCodec::of());
+        self
+    }
+
+    /// Runs a demotion scan every `writes` mutations even without
+    /// budget pressure, compressing keys untouched since the previous
+    /// scan. Use this to keep a long-tail keyspace compact when no hard
+    /// budget is set (with a budget, scans also fire on pressure).
+    ///
+    /// Enables the memory-tier manager (hence the [`CompactSketch`]
+    /// bound).
+    ///
+    /// # Panics
+    /// Panics if `writes == 0`.
+    pub fn demote_after_writes(mut self, writes: u64) -> Self
+    where
+        S: CompactSketch,
+    {
+        assert!(writes > 0, "demotion period must be at least one write");
+        self.tier.demote_after_writes = Some(writes);
+        self.codec = Some(TierCodec::of());
+        self
+    }
+
+    /// Parent directory for the store's spill segments (default: the OS
+    /// temp directory). The store creates a uniquely named subdirectory
+    /// on first spill and removes it — with every segment file — when
+    /// dropped. Only consulted when tiering is enabled.
+    pub fn spill_dir(mut self, dir: impl Into<PathBuf>) -> Self {
+        self.tier.spill_dir = Some(dir.into());
+        self
+    }
+
     /// Builds the store.
     ///
     /// # Panics
@@ -91,7 +178,13 @@ impl<S> StoreBuilder<S> {
             self.pipeline.writer_threads > 0,
             "pipelines need at least one writer thread"
         );
-        SketchStore::from_parts(self.shards, self.factory, self.pipeline)
+        SketchStore::from_parts(
+            self.shards,
+            self.factory,
+            self.pipeline,
+            self.tier,
+            self.codec,
+        )
     }
 
     /// Builds the store behind an [`Arc`] — the shape
@@ -110,6 +203,8 @@ impl<S> std::fmt::Debug for StoreBuilder<S> {
             .field("shards", &self.shards)
             .field("queue_depth", &self.pipeline.queue_depth)
             .field("writer_threads", &self.pipeline.writer_threads)
+            .field("memory_budget_bytes", &self.tier.memory_budget_bytes)
+            .field("demote_after_writes", &self.tier.demote_after_writes)
             .finish_non_exhaustive()
     }
 }

@@ -35,6 +35,18 @@
 //! * **snapshots** — [`SketchStore::snapshot`] produces a plain-data
 //!   [`StoreSnapshot`] that serializes with serde (feature `serde`,
 //!   default-on) and restores with [`SketchStore::from_snapshot`];
+//!   tiered entries travel compressed ([`SnapshotEntry::Compact`])
+//!   without being rehydrated;
+//! * **memory tiers** — with the builder knobs
+//!   [`StoreBuilder::memory_budget_bytes`] and
+//!   [`StoreBuilder::demote_after_writes`], a second-chance clock scan
+//!   demotes cold keys from **hot** (resident sketch) to **warm**
+//!   (registers compressed in memory through the family's
+//!   [`CompactSketch`](sketch_core::CompactSketch) codec) to **frozen**
+//!   (compressed bytes spilled to temp segment files, removed when the
+//!   store drops). Point reads and writes transparently rehydrate; bulk
+//!   sweeps (similarity queries, snapshots, merge-down) peek without
+//!   promoting. [`SketchStore::tier_stats`] reports the census;
 //! * **similarity queries at scale** — [`SketchStore::similar_keys`]
 //!   (top-k) and [`SketchStore::all_pairs`] (threshold sweep) prune
 //!   candidates through an incrementally maintained banding LSH index
@@ -107,6 +119,7 @@ mod pipeline;
 mod query;
 mod snapshot;
 mod store;
+mod tier;
 
 pub use builder::StoreBuilder;
 pub use error::StoreError;
@@ -118,8 +131,9 @@ pub use query::{
     Neighbor, Probe, QueryOptions, SimilarPair, SimilarityIndexInfo, Verification,
     DEFAULT_RECALL_TARGET, DEFAULT_SIMILARITY_THRESHOLD,
 };
-pub use snapshot::StoreSnapshot;
+pub use snapshot::{SnapshotEntry, StoreSnapshot};
 pub use store::{SketchStore, DEFAULT_SHARDS};
+pub use tier::TierStats;
 
 // Downstream convenience: the traits a store-bound sketch implements,
 // the joint-estimation result type, and the banding layout the

@@ -34,6 +34,12 @@
 //!   waits until every operation submitted *before the call* has been
 //!   applied to the store. Dropping the pipeline drains all queues and
 //!   joins the writers, so no accepted operation is ever lost.
+//! * **Tiering** — writers apply updates through the store's ordinary
+//!   entry path, so a pipelined write to a warm or frozen key promotes
+//!   it back to hot exactly like a direct
+//!   [`ingest`](SketchStore::ingest), and pipelined traffic drives the
+//!   tier manager's demotion scans (see the crate-level *memory tiers*
+//!   overview).
 //!
 //! The futures are hand-rolled `std::future` implementations — no
 //! executor dependency — so the pipeline can sit behind tokio,

@@ -546,9 +546,19 @@ where
     }
 
     /// Exact-verification inputs over the whole store: a point-in-time
-    /// snapshot of sketch clones, sorted by key.
+    /// sweep of sketch clones, sorted by key. Cold (warm/frozen) slots
+    /// are decompressed into the clone **without promoting** — a
+    /// whole-store sweep must not blow the residency budget.
     fn exact_entries(&self) -> VerifyEntries<S> {
-        VerifyEntries::Exact(self.snapshot().entries.into_iter().collect())
+        let mut entries: Vec<(String, S)> = Vec::new();
+        for shard in self.shards() {
+            let guard = shard.read();
+            for (key, slot) in guard.iter() {
+                entries.push((key.clone(), self.peek_slot(slot, |sketch| sketch.clone())));
+            }
+        }
+        entries.sort_unstable_by(|a, b| a.0.cmp(&b.0));
+        VerifyEntries::Exact(entries)
     }
 
     /// Exact-verification inputs for a top-k query: clones of the
@@ -672,7 +682,9 @@ where
                 if entries.get(key).is_some_and(|e| e.version == slot.version) {
                     continue;
                 }
-                slot.sketch.signature_into(&mut signature);
+                // Peek, don't promote: index refresh sweeps the whole
+                // store and must leave cold slots in their tier.
+                self.peek_slot(slot, |sketch| sketch.signature_into(&mut signature));
                 lsh.band_hashes_into(&signature, &mut band_hashes);
                 if let Some(old) = entries.get(key) {
                     lsh.remove_hashed(key, &old.band_hashes);
@@ -784,20 +796,69 @@ where
         self.all_pairs_exhaustive_impl(threshold, options, entries)
     }
 
+    /// Cached per-key cardinality, valid only if the caching version
+    /// matches the slot's current version stamp (any write moves the
+    /// stamp, so stale figures can never be served). The cache mutex is
+    /// always the innermost lock — acquired under at most one shard
+    /// lock, never the other way around.
+    fn cached_cardinality(&self, key: &str, version: u64) -> Option<f64> {
+        let cache = self.cardinality_cache.lock();
+        cache
+            .get(key)
+            .filter(|(cached_version, _)| *cached_version == version)
+            .map(|(_, cardinality)| *cardinality)
+    }
+
+    /// Records a freshly computed cardinality under the version that
+    /// produced it.
+    fn remember_cardinality(&self, key: &str, version: u64, cardinality: f64) {
+        self.cardinality_cache
+            .lock()
+            .insert(key.to_owned(), (version, cardinality));
+    }
+
     /// Point-in-time verification inputs over the whole store, sorted
     /// by key: sketch clones for exact verification, signature +
-    /// cardinality extractions (no clones) for approximate.
+    /// cardinality extractions (no clones) for approximate. Cold slots
+    /// are peeked, not promoted; cardinalities come from the per-key
+    /// cache when the key's version stamp has not moved since they were
+    /// computed.
     fn entries_for_mode(&self, verification: Verification) -> VerifyEntries<S> {
         match verification {
             Verification::Exact => self.exact_entries(),
             Verification::Approximate => {
-                let mut rows: Vec<(String, Vec<u32>, f64)> = Vec::new();
+                let mut rows: Vec<(String, Vec<u32>, f64, u64)> = Vec::new();
                 for shard in self.shards() {
                     let guard = shard.read();
                     for (key, slot) in guard.iter() {
-                        let mut signature = Vec::new();
-                        slot.sketch.signature_into(&mut signature);
-                        rows.push((key.clone(), signature, slot.sketch.cardinality()));
+                        let cached = self.cached_cardinality(key, slot.version);
+                        let (signature, computed) = self.peek_slot(slot, |sketch| {
+                            let mut signature = Vec::new();
+                            sketch.signature_into(&mut signature);
+                            (signature, cached.is_none().then(|| sketch.cardinality()))
+                        });
+                        let cardinality = match (cached, computed) {
+                            (Some(cardinality), _) => cardinality,
+                            (None, computed) => {
+                                let cardinality = computed.expect("computed when not cached");
+                                self.remember_cardinality(key, slot.version, cardinality);
+                                cardinality
+                            }
+                        };
+                        rows.push((key.clone(), signature, cardinality, slot.version));
+                    }
+                }
+                // The sweep names every live key: prune cache entries
+                // for removed keys (or superseded versions) so the
+                // cache stays bounded by the live key count.
+                {
+                    let mut cache = self.cardinality_cache.lock();
+                    if cache.len() > rows.len() {
+                        let live: HashMap<&str, u64> = rows
+                            .iter()
+                            .map(|(key, _, _, version)| (key.as_str(), *version))
+                            .collect();
+                        cache.retain(|key, (version, _)| live.get(key.as_str()) == Some(version));
                     }
                 }
                 // Hash-ordered shard maps: sort so entry order matches
@@ -806,7 +867,7 @@ where
                 let mut keys = Vec::with_capacity(rows.len());
                 let mut signatures = Vec::with_capacity(rows.len());
                 let mut cardinalities = Vec::with_capacity(rows.len());
-                for (key, signature, cardinality) in rows {
+                for (key, signature, cardinality, _) in rows {
                     keys.push(key);
                     signatures.push(signature);
                     cardinalities.push(cardinality);
@@ -833,8 +894,31 @@ where
         let mut signatures: Vec<Vec<u32>> = Vec::with_capacity(candidates.len() + 1);
         let mut cardinalities: Vec<f64> = Vec::with_capacity(candidates.len() + 1);
         let mut extract = |name: String| {
-            let row = self.with_sketch(&name, |s| (s.signature(), s.cardinality()));
-            if let Some((signature, cardinality)) = row {
+            // Peek under the shard read lock — approximate extraction
+            // never promotes cold slots — and reuse the cached
+            // cardinality when the key's version stamp hasn't moved.
+            let row = {
+                let shard = self.shards()[self.shard_index(&name)].read();
+                shard.get(&name).map(|slot| {
+                    let cached = self.cached_cardinality(&name, slot.version);
+                    let (signature, computed) = self.peek_slot(slot, |sketch| {
+                        (
+                            sketch.signature(),
+                            cached.is_none().then(|| sketch.cardinality()),
+                        )
+                    });
+                    (signature, cached, computed, slot.version)
+                })
+            };
+            if let Some((signature, cached, computed, version)) = row {
+                let cardinality = match (cached, computed) {
+                    (Some(cardinality), _) => cardinality,
+                    (None, computed) => {
+                        let cardinality = computed.expect("computed when not cached");
+                        self.remember_cardinality(&name, version, cardinality);
+                        cardinality
+                    }
+                };
                 keys.push(name);
                 signatures.push(signature);
                 cardinalities.push(cardinality);

@@ -2,9 +2,47 @@
 
 use std::collections::BTreeMap;
 
+/// One key's state inside a [`StoreSnapshot`].
+///
+/// A tiered store snapshots warm and frozen keys **without
+/// rehydrating** them: their compressed bytes travel as-is
+/// ([`Compact`](Self::Compact)), while hot keys clone their sketch
+/// ([`Resident`](Self::Resident)). On restore
+/// ([`SketchStore::from_snapshot`](crate::SketchStore::from_snapshot)),
+/// compact entries come back as warm slots and stay compressed until
+/// first touched.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SnapshotEntry<S> {
+    /// A resident sketch clone (the key was hot).
+    Resident(S),
+    /// The key's compressed register payload, in the family's
+    /// [`CompactSketch`](sketch_core::CompactSketch) wire format (the
+    /// key was warm or frozen).
+    Compact(Vec<u8>),
+}
+
+impl<S> SnapshotEntry<S> {
+    /// The resident sketch, if this entry carries one.
+    pub fn as_resident(&self) -> Option<&S> {
+        match self {
+            SnapshotEntry::Resident(sketch) => Some(sketch),
+            SnapshotEntry::Compact(_) => None,
+        }
+    }
+
+    /// The compressed payload, if this entry carries one.
+    pub fn as_compact(&self) -> Option<&[u8]> {
+        match self {
+            SnapshotEntry::Resident(_) => None,
+            SnapshotEntry::Compact(bytes) => Some(bytes),
+        }
+    }
+}
+
 /// A point-in-time copy of a [`SketchStore`](crate::SketchStore)'s
-/// contents: every key with a clone of its sketch, plus the shard count
-/// so the store can be rebuilt with the same layout.
+/// contents: every key with its state (resident clone or compressed
+/// payload — see [`SnapshotEntry`]), plus the shard count so the store
+/// can be rebuilt with the same layout.
 ///
 /// Snapshots are the store's unit of persistence and shipping: they are
 /// plain data (no locks, no factory), order their entries
@@ -15,8 +53,8 @@ use std::collections::BTreeMap;
 pub struct StoreSnapshot<S> {
     /// Number of shards of the originating store.
     pub shard_count: usize,
-    /// Key → sketch state, ordered by key.
-    pub entries: BTreeMap<String, S>,
+    /// Key → snapshotted state, ordered by key.
+    pub entries: BTreeMap<String, SnapshotEntry<S>>,
 }
 
 impl<S> StoreSnapshot<S> {
@@ -30,8 +68,8 @@ impl<S> StoreSnapshot<S> {
         self.entries.is_empty()
     }
 
-    /// The sketch snapshotted under `key`, if any.
-    pub fn get(&self, key: &str) -> Option<&S> {
+    /// The state snapshotted under `key`, if any.
+    pub fn get(&self, key: &str) -> Option<&SnapshotEntry<S>> {
         self.entries.get(key)
     }
 }
@@ -42,11 +80,54 @@ mod serde_impls {
     //!
     //! The vendored serde_derive shim only handles non-generic structs,
     //! so the generic snapshot pivots through the shim's [`Content`]
-    //! tree directly. The wire shape matches what the real derive would
-    //! produce for `{ shard_count, entries }`.
+    //! tree directly. The wire shapes match what the real derive would
+    //! produce: `{ shard_count, entries }` for the snapshot and an
+    //! externally tagged map (`{"Resident": …}` / `{"Compact": […]}`)
+    //! for each entry.
 
-    use super::StoreSnapshot;
+    use super::{SnapshotEntry, StoreSnapshot};
     use serde::{Content, Deserialize, Deserializer, Serialize, Serializer};
+
+    impl<S: Serialize> Serialize for SnapshotEntry<S> {
+        fn serialize<Z: Serializer>(&self, serializer: Z) -> Result<Z::Ok, Z::Error> {
+            let (tag, content) = match self {
+                SnapshotEntry::Resident(sketch) => {
+                    ("Resident", serde::__private::to_content(sketch))
+                }
+                SnapshotEntry::Compact(bytes) => ("Compact", serde::__private::to_content(bytes)),
+            };
+            serializer.serialize_content(Content::Map(vec![(tag.to_owned(), content)]))
+        }
+    }
+
+    impl<'de, S: Deserialize<'de>> Deserialize<'de> for SnapshotEntry<S> {
+        fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+            let content = deserializer.deserialize_content()?;
+            let mut fields = match content {
+                Content::Map(map) => map,
+                other => return Err(serde::__private::expected_map::<D::Error>(&other)),
+            };
+            if fields.len() != 1 {
+                return Err(<D::Error as serde::de::Error>::custom(
+                    "snapshot entry must be a single-variant map",
+                ));
+            }
+            let (tag, value) = fields.pop().expect("length checked above");
+            match tag.as_str() {
+                "Resident" => Ok(SnapshotEntry::Resident(serde::__private::from_content::<
+                    S,
+                    D::Error,
+                >(value)?)),
+                "Compact" => Ok(SnapshotEntry::Compact(serde::__private::from_content::<
+                    Vec<u8>,
+                    D::Error,
+                >(value)?)),
+                other => Err(<D::Error as serde::de::Error>::custom(format!(
+                    "unknown snapshot entry variant `{other}`"
+                ))),
+            }
+        }
+    }
 
     impl<S: Serialize> Serialize for StoreSnapshot<S> {
         fn serialize<Z: Serializer>(&self, serializer: Z) -> Result<Z::Ok, Z::Error> {

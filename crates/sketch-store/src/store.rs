@@ -4,16 +4,18 @@ use crate::builder::StoreBuilder;
 use crate::error::StoreError;
 use crate::pipeline::PipelineDefaults;
 use crate::query::SimilarityIndex;
-use crate::snapshot::StoreSnapshot;
+use crate::snapshot::{SnapshotEntry, StoreSnapshot};
+use crate::tier::{TierCodec, TierPolicy, TierRuntime, TierSlot};
 use parking_lot::{Mutex, RwLock};
 use sketch_core::{
-    BatchInsert, CardinalityEstimator, JointEstimator, JointQuantities, Mergeable, Sketch,
+    BatchInsert, CardinalityEstimator, CompactSketch, JointEstimator, JointQuantities, Mergeable,
+    Sketch,
 };
 use sketch_rand::hash_bytes;
 use std::collections::HashMap;
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 
-/// A stored sketch together with its write version.
+/// A stored sketch together with its write version and tier state.
 ///
 /// Every mutating access to the key (ingest, insert, put, restore)
 /// stamps the slot with a fresh value of the store's monotonic write
@@ -22,10 +24,49 @@ use std::sync::atomic::{AtomicU64, Ordering};
 /// keys whose version moved since they were last indexed. The counter
 /// is store-global, so a key removed and later re-created never repeats
 /// an old version (the index relies on inequality to detect staleness).
+///
+/// Tier moves (hot ↔ warm ↔ frozen) do **not** bump the version — the
+/// registers are unchanged, so index entries stay valid. The `touched`
+/// bit is the clock scan's second chance: set by every read and write,
+/// cleared on the scan's first encounter, demoted on its second.
 #[derive(Debug)]
 pub(crate) struct Slot<S> {
-    pub(crate) sketch: S,
+    pub(crate) state: TierSlot<S>,
     pub(crate) version: u64,
+    pub(crate) touched: AtomicBool,
+}
+
+impl<S> Slot<S> {
+    /// A freshly resident slot (touched, so the next clock pass spares
+    /// it).
+    pub(crate) fn hot(sketch: S, version: u64) -> Self {
+        Slot {
+            state: TierSlot::Hot(sketch),
+            version,
+            touched: AtomicBool::new(true),
+        }
+    }
+
+    /// Marks the slot recently used (second-chance bit).
+    pub(crate) fn touch(&self) {
+        self.touched.store(true, Ordering::Relaxed);
+    }
+
+    /// The resident sketch; callers must have promoted first.
+    pub(crate) fn hot_ref(&self) -> &S {
+        match &self.state {
+            TierSlot::Hot(sketch) => sketch,
+            _ => unreachable!("slot not resident after promotion"),
+        }
+    }
+
+    /// Mutable resident sketch; callers must have promoted first.
+    pub(crate) fn hot_mut(&mut self) -> &mut S {
+        match &mut self.state {
+            TierSlot::Hot(sketch) => sketch,
+            _ => unreachable!("slot not resident after promotion"),
+        }
+    }
 }
 
 /// One shard: a lock-guarded map from key to its versioned slot.
@@ -55,6 +96,15 @@ pub const DEFAULT_SHARDS: usize = 16;
 /// family's detailed incompatibility error through
 /// [`StoreError::Incompatible`].
 ///
+/// With the builder's tiering knobs
+/// ([`memory_budget_bytes`](StoreBuilder::memory_budget_bytes),
+/// [`demote_after_writes`](StoreBuilder::demote_after_writes)) the
+/// store additionally manages *where* each key's registers live: cold
+/// keys are compressed in place (warm) and, under memory pressure,
+/// spilled to disk (frozen), while reads and writes transparently
+/// rehydrate them — see [`tier_stats`](Self::tier_stats) and the
+/// memory-tiers section of the crate overview.
+///
 /// ```
 /// use setsketch::{SetSketch2, SetSketchConfig};
 /// use sketch_store::SketchStore;
@@ -80,6 +130,9 @@ pub struct SketchStore<S> {
     factory: Box<dyn Fn() -> S + Send + Sync>,
     /// Monotonic write counter feeding the slots' version stamps.
     write_epoch: AtomicU64,
+    /// Tiering state: codec, policy, byte accounting, clock hand and
+    /// spill segments (see [`crate::tier`]).
+    pub(crate) tier: TierRuntime<S>,
     /// Pipeline knobs fixed at construction ([`StoreBuilder`]); applied
     /// by every [`pipeline`](Self::pipeline) handle the store hands out.
     pub(crate) pipeline_defaults: PipelineDefaults,
@@ -88,6 +141,11 @@ pub struct SketchStore<S> {
     /// maintained incrementally by the similarity query engine (see
     /// [`crate::query`]).
     pub(crate) similarity: Mutex<Vec<SimilarityIndex>>,
+    /// Per-key cardinality cache for approximate-mode queries, keyed by
+    /// the slot version that produced each figure — a stale version
+    /// invalidates the entry, so the cache never needs explicit
+    /// flushing on writes (see [`crate::query`]).
+    pub(crate) cardinality_cache: Mutex<HashMap<String, (u64, f64)>>,
     /// Lazily computed inverse of the factory configuration's
     /// register-collision-probability curve, tabulated over all
     /// `m + 1` possible D₀ values — shared by every approximate-mode
@@ -100,8 +158,8 @@ impl<S> SketchStore<S> {
     /// Starts building a store around `factory`, the closure that builds
     /// the empty sketch for every new key (fixing configuration and hash
     /// seed). This is the one construction entry point; shard count,
-    /// ingest-pipeline depth and writer threads, and future knobs hang
-    /// off the returned [`StoreBuilder`].
+    /// ingest-pipeline depth and writer threads, memory-tier knobs and
+    /// future options hang off the returned [`StoreBuilder`].
     ///
     /// ```
     /// use setsketch::{SetSketch2, SetSketchConfig};
@@ -143,18 +201,29 @@ impl<S> SketchStore<S> {
         shards: usize,
         factory: Box<dyn Fn() -> S + Send + Sync>,
         pipeline_defaults: PipelineDefaults,
+        tier_policy: TierPolicy,
+        tier_codec: Option<TierCodec<S>>,
     ) -> Self {
         debug_assert!(shards > 0, "builder validates the shard count");
         let shards = (0..shards)
             .map(|_| RwLock::new(HashMap::new()))
             .collect::<Vec<_>>()
             .into_boxed_slice();
+        // The codec decompresses against an empty factory sketch; build
+        // it once so promotions never call the factory.
+        let prototype = if tier_codec.is_some() {
+            Some(factory())
+        } else {
+            None
+        };
         Self {
             shards,
             factory,
             write_epoch: AtomicU64::new(0),
+            tier: TierRuntime::new(tier_policy, tier_codec, prototype),
             pipeline_defaults,
             similarity: Mutex::new(Vec::new()),
+            cardinality_cache: Mutex::new(HashMap::new()),
             collision_inverse: std::sync::OnceLock::new(),
         }
     }
@@ -171,7 +240,8 @@ impl<S> SketchStore<S> {
         (self.factory)()
     }
 
-    /// The shard array, for the query engine's version sweep.
+    /// The shard array, for the query engine's version sweep and the
+    /// tier manager's clock scan.
     pub(crate) fn shards(&self) -> &[Shard<S>] {
         &self.shards
     }
@@ -207,7 +277,7 @@ impl<S> SketchStore<S> {
         self.shards.iter().all(|s| s.read().is_empty())
     }
 
-    /// True if `key` holds a sketch.
+    /// True if `key` holds a sketch (in any tier).
     pub fn contains_key(&self, key: &str) -> bool {
         self.shard(key).read().contains_key(key)
     }
@@ -231,37 +301,74 @@ impl<S> SketchStore<S> {
         keys
     }
 
-    /// Runs a closure against the sketch under `key` without cloning it
-    /// (the shard stays read-locked for the duration).
+    /// Runs a closure against the sketch under `key` without cloning it.
+    ///
+    /// A point read **promotes**: if the key's registers are compressed
+    /// (warm) or spilled (frozen), they are rehydrated to a resident
+    /// sketch under the shard's write lock first; hot keys take the
+    /// original read-lock fast path.
     pub fn with_sketch<R>(&self, key: &str, op: impl FnOnce(&S) -> R) -> Option<R> {
-        self.shard(key).read().get(key).map(|slot| op(&slot.sketch))
+        {
+            let shard = self.shard(key).read();
+            match shard.get(key) {
+                None => return None,
+                Some(slot) => {
+                    if let TierSlot::Hot(sketch) = &slot.state {
+                        slot.touch();
+                        return Some(op(sketch));
+                    }
+                }
+            }
+        }
+        // Cold key: promote under the write lock (the key can vanish in
+        // the unlocked window, hence the re-check).
+        let result = {
+            let mut shard = self.shard(key).write();
+            let slot = shard.get_mut(key)?;
+            self.ensure_hot_slot(slot);
+            slot.touch();
+            Some(op(slot.hot_ref()))
+        };
+        self.maintain_if_over_budget();
+        result
     }
 
     /// Stores `sketch` under `key`, replacing and returning any previous
     /// sketch. This bypasses the factory — use it to inject states built
-    /// elsewhere (e.g. shipped from worker processes).
+    /// elsewhere (e.g. states shipped from worker processes). The new
+    /// entry starts hot; a replaced warm/frozen entry is rehydrated on
+    /// the way out.
     pub fn put(&self, key: &str, sketch: S) -> Option<S> {
         let version = self.next_version();
-        self.shard(key)
+        self.tier.account_insert_hot(&sketch);
+        let previous = self
+            .shard(key)
             .write()
-            .insert(key.to_owned(), Slot { sketch, version })
-            .map(|slot| slot.sketch)
+            .insert(key.to_owned(), Slot::hot(sketch, version));
+        let previous = previous.map(|slot| self.take_sketch(slot));
+        self.maybe_maintain();
+        previous
     }
 
-    /// Removes and returns the sketch under `key`.
+    /// Removes and returns the sketch under `key` (rehydrating it if it
+    /// was warm or frozen).
     pub fn remove(&self, key: &str) -> Option<S> {
-        self.shard(key).write().remove(key).map(|slot| slot.sketch)
+        let slot = self.shard(key).write().remove(key)?;
+        Some(self.take_sketch(slot))
     }
 
-    /// Removes every sketch.
+    /// Removes every sketch (and drops any spill segments).
     pub fn clear(&self) {
         for shard in self.shards.iter() {
             shard.write().clear();
         }
+        self.tier.reset();
     }
 
     /// Acquires the shard(s) of two keys deadlock-free (ascending shard
-    /// order) and runs `op` on the two sketches.
+    /// order) and runs `op` on the two sketches. Both keys are promoted
+    /// to hot if needed; when both are already resident only read locks
+    /// are taken.
     fn with_pair<R>(
         &self,
         key_a: &str,
@@ -270,15 +377,19 @@ impl<S> SketchStore<S> {
     ) -> Result<R, StoreError> {
         let not_found = |key: &str| StoreError::KeyNotFound(key.to_owned());
         let (ia, ib) = (self.shard_index(key_a), self.shard_index(key_b));
+        // Fast path: both resident — read locks only.
         if ia == ib {
             let shard = self.shards[ia].read();
             let a = shard.get(key_a).ok_or_else(|| not_found(key_a))?;
             let b = shard.get(key_b).ok_or_else(|| not_found(key_b))?;
-            Ok(op(&a.sketch, &b.sketch))
+            if let (TierSlot::Hot(sa), TierSlot::Hot(sb)) = (&a.state, &b.state) {
+                a.touch();
+                b.touch();
+                return Ok(op(sa, sb));
+            }
         } else {
-            // Lock in ascending shard order; this is the only place two
-            // shard locks are held at once, so the order is globally
-            // consistent and cannot deadlock.
+            // Lock in ascending shard order; shard locks are only ever
+            // nested in this order, so the nesting cannot deadlock.
             let (lo, hi) = (ia.min(ib), ia.max(ib));
             let shard_lo = self.shards[lo].read();
             let shard_hi = self.shards[hi].read();
@@ -289,31 +400,85 @@ impl<S> SketchStore<S> {
             };
             let a = shard_a.get(key_a).ok_or_else(|| not_found(key_a))?;
             let b = shard_b.get(key_b).ok_or_else(|| not_found(key_b))?;
-            Ok(op(&a.sketch, &b.sketch))
+            if let (TierSlot::Hot(sa), TierSlot::Hot(sb)) = (&a.state, &b.state) {
+                a.touch();
+                b.touch();
+                return Ok(op(sa, sb));
+            }
         }
+        // Slow path: at least one side is cold — retake the locks as
+        // write locks (same ascending order) and promote both.
+        let result = if ia == ib {
+            let mut shard = self.shards[ia].write();
+            if !shard.contains_key(key_a) {
+                return Err(not_found(key_a));
+            }
+            if !shard.contains_key(key_b) {
+                return Err(not_found(key_b));
+            }
+            for key in [key_a, key_b] {
+                let slot = shard.get_mut(key).expect("checked above");
+                self.ensure_hot_slot(slot);
+                slot.touch();
+            }
+            let a = shard.get(key_a).expect("checked above");
+            let b = shard.get(key_b).expect("checked above");
+            op(a.hot_ref(), b.hot_ref())
+        } else {
+            let (lo, hi) = (ia.min(ib), ia.max(ib));
+            let mut shard_lo = self.shards[lo].write();
+            let mut shard_hi = self.shards[hi].write();
+            let (shard_a, shard_b) = if ia < ib {
+                (&mut shard_lo, &mut shard_hi)
+            } else {
+                (&mut shard_hi, &mut shard_lo)
+            };
+            let slot_a = shard_a.get_mut(key_a).ok_or_else(|| not_found(key_a))?;
+            self.ensure_hot_slot(slot_a);
+            slot_a.touch();
+            let slot_b = shard_b.get_mut(key_b).ok_or_else(|| not_found(key_b))?;
+            self.ensure_hot_slot(slot_b);
+            slot_b.touch();
+            op(
+                shard_a.get(key_a).expect("just promoted").hot_ref(),
+                shard_b.get(key_b).expect("just promoted").hot_ref(),
+            )
+        };
+        self.maintain_if_over_budget();
+        Ok(result)
     }
 }
 
 impl<S> SketchStore<S> {
     /// Write-locks the key's shard and runs `op` on its sketch, creating
-    /// it through the factory on first use. The existing-key fast path
-    /// avoids allocating an owned key string. Every call restamps the
-    /// slot's version so the similarity index can re-band exactly the
-    /// keys that changed.
+    /// it through the factory on first use and promoting it to hot if it
+    /// was compressed or spilled. The existing-key fast path avoids
+    /// allocating an owned key string. Every call restamps the slot's
+    /// version so the similarity index can re-band exactly the keys that
+    /// changed, and feeds the tier manager's write counter and byte
+    /// accounting.
     fn with_entry(&self, key: &str, op: impl FnOnce(&mut S)) {
-        let mut shard = self.shard(key).write();
-        if !shard.contains_key(key) {
-            shard.insert(
-                key.to_owned(),
-                Slot {
-                    sketch: (self.factory)(),
-                    version: 0,
-                },
-            );
+        {
+            let mut shard = self.shard(key).write();
+            if !shard.contains_key(key) {
+                let sketch = (self.factory)();
+                self.tier.account_insert_hot(&sketch);
+                shard.insert(key.to_owned(), Slot::hot(sketch, 0));
+            }
+            let slot = shard.get_mut(key).expect("present or just inserted");
+            self.ensure_hot_slot(slot);
+            slot.version = self.next_version();
+            slot.touch();
+            if self.tier.enabled() {
+                let before = self.tier.resident_of(slot.hot_ref());
+                op(slot.hot_mut());
+                let after = self.tier.resident_of(slot.hot_ref());
+                self.tier.account_growth(before, after);
+            } else {
+                op(slot.hot_mut());
+            }
         }
-        let slot = shard.get_mut(key).expect("present or just inserted");
-        slot.version = self.next_version();
-        op(&mut slot.sketch);
+        self.maybe_maintain();
     }
 }
 
@@ -353,12 +518,10 @@ impl<S: BatchInsert> SketchStore<S> {
 }
 
 impl<S: Clone> SketchStore<S> {
-    /// Clones the sketch under `key` out of the store.
+    /// Clones the sketch under `key` out of the store (promoting it to
+    /// hot if it was compressed or spilled — a point read).
     pub fn get(&self, key: &str) -> Option<S> {
-        self.shard(key)
-            .read()
-            .get(key)
-            .map(|slot| slot.sketch.clone())
+        self.with_sketch(key, |sketch| sketch.clone())
     }
 
     /// Takes a point-in-time snapshot of the whole store: each shard is
@@ -366,11 +529,26 @@ impl<S: Clone> SketchStore<S> {
     /// consistent (writers may interleave between shards). Snapshot
     /// entries are an ordered map, so iteration yields keys in the same
     /// ascending order [`keys`](Self::keys) guarantees.
+    ///
+    /// Tiered entries are snapshotted **without rehydration**: hot keys
+    /// clone their sketch ([`SnapshotEntry::Resident`]), warm and
+    /// frozen keys carry their compressed bytes
+    /// ([`SnapshotEntry::Compact`]) — so snapshotting a mostly-cold
+    /// store neither blows the memory budget nor perturbs the tiers.
     pub fn snapshot(&self) -> StoreSnapshot<S> {
         let mut entries = std::collections::BTreeMap::new();
         for shard in self.shards.iter() {
             for (key, slot) in shard.read().iter() {
-                entries.insert(key.clone(), slot.sketch.clone());
+                let entry = match &slot.state {
+                    TierSlot::Hot(sketch) => SnapshotEntry::Resident(sketch.clone()),
+                    TierSlot::Warm(bytes) => SnapshotEntry::Compact(bytes.to_vec()),
+                    TierSlot::Frozen {
+                        segment,
+                        offset,
+                        len,
+                    } => SnapshotEntry::Compact(self.tier.read_frozen(*segment, *offset, *len)),
+                };
+                entries.insert(key.clone(), entry);
             }
         }
         StoreSnapshot {
@@ -378,20 +556,42 @@ impl<S: Clone> SketchStore<S> {
             entries,
         }
     }
+}
 
+impl<S: CompactSketch> SketchStore<S> {
     /// Rebuilds a store from a snapshot. The factory serves keys created
     /// *after* the restore; snapshotted sketches are installed verbatim.
+    ///
+    /// [`SnapshotEntry::Resident`] entries restore hot;
+    /// [`SnapshotEntry::Compact`] entries restore **warm** — they stay
+    /// compressed until first touched, so restoring a snapshot of a
+    /// mostly-cold store does not inflate it. The restored store has the
+    /// family's codec installed but no demotion policy; rebuild with
+    /// [`StoreBuilder`] knobs and [`put`](Self::put) to re-tier.
     pub fn from_snapshot(
         snapshot: StoreSnapshot<S>,
         factory: impl Fn() -> S + Send + Sync + 'static,
     ) -> Self {
-        let store = Self::builder(factory).shards(snapshot.shard_count).build();
-        for (key, sketch) in snapshot.entries {
+        let mut store = Self::builder(factory).shards(snapshot.shard_count).build();
+        let prototype = store.make_sketch();
+        store.tier.install_codec(TierCodec::of(), prototype);
+        for (key, entry) in snapshot.entries {
             let version = store.next_version();
-            store
-                .shard(&key)
-                .write()
-                .insert(key, Slot { sketch, version });
+            let slot = match entry {
+                SnapshotEntry::Resident(sketch) => {
+                    store.tier.account_insert_hot(&sketch);
+                    Slot::hot(sketch, version)
+                }
+                SnapshotEntry::Compact(bytes) => {
+                    store.tier.account_insert_warm(bytes.len());
+                    Slot {
+                        state: TierSlot::Warm(bytes.into_boxed_slice()),
+                        version,
+                        touched: AtomicBool::new(false),
+                    }
+                }
+            };
+            store.shard(&key).write().insert(key, slot);
         }
         store
     }
@@ -407,7 +607,8 @@ impl<S: CardinalityEstimator> SketchStore<S> {
 
 impl<S: Mergeable + Clone> SketchStore<S> {
     /// Union sketch of the listed keys (each shard locked one at a time;
-    /// per-key point-in-time).
+    /// per-key point-in-time). Cold keys are promoted — merging a
+    /// selection is a point read of each member.
     ///
     /// Fails with [`StoreError::EmptySelection`] for an empty list,
     /// [`StoreError::KeyNotFound`] for a missing key, and
@@ -420,12 +621,8 @@ impl<S: Mergeable + Clone> SketchStore<S> {
             .get(first)
             .ok_or_else(|| StoreError::KeyNotFound(first.to_owned()))?;
         for &key in rest {
-            let shard = self.shard(key).read();
-            let slot = shard
-                .get(key)
-                .ok_or_else(|| StoreError::KeyNotFound(key.to_owned()))?;
-            merged
-                .merge_from(&slot.sketch)
+            self.with_sketch(key, |sketch| merged.merge_from(sketch))
+                .ok_or_else(|| StoreError::KeyNotFound(key.to_owned()))?
                 .map_err(StoreError::incompatible)?;
         }
         Ok(merged)
@@ -437,12 +634,23 @@ impl<S: Mergeable + Clone> SketchStore<S> {
     /// Each shard is absorbed through one
     /// [`merge_many`](Mergeable::merge_many) call under its read lock,
     /// so sketches with batched register kernels (SetSketch) amortize
-    /// their per-merge bookkeeping across the whole shard.
+    /// their per-merge bookkeeping across the whole shard. Cold entries
+    /// are decompressed into temporaries and **not** promoted — a
+    /// whole-store fold must not blow the residency budget.
     pub fn merge_down(&self) -> Result<Option<S>, StoreError> {
         let mut merged: Option<S> = None;
         for shard in self.shards.iter() {
             let guard = shard.read();
-            let mut sketches = guard.values().map(|slot| &slot.sketch);
+            let temps: Vec<S> = guard
+                .values()
+                .filter(|slot| !slot.state.is_hot())
+                .map(|slot| self.materialize_cold(&slot.state))
+                .collect();
+            let hot = guard.values().filter_map(|slot| match &slot.state {
+                TierSlot::Hot(sketch) => Some(sketch),
+                _ => None,
+            });
+            let mut sketches = hot.chain(temps.iter());
             let acc = match &mut merged {
                 Some(acc) => acc,
                 None => match sketches.next() {

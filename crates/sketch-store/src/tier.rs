@@ -1,0 +1,693 @@
+//! Tiered register storage behind the store: hot, warm (compressed in
+//! memory) and frozen (spilled to disk) slots, plus the clock-hand
+//! demotion scan that moves cold keys down the ladder.
+//!
+//! The tiers are invisible to callers — every public store operation
+//! behaves as if all sketches were resident. What changes is *where a
+//! key's registers live*:
+//!
+//! * **Hot** — the sketch struct itself, the unchanged fast path;
+//! * **Warm** — the registers compressed through the family's
+//!   [`CompactSketch`] codec (SetSketch/GHLL pack offsets from a shared
+//!   base plus a sparse exception list; the other families fall back to
+//!   their serde snapshot), held in memory;
+//! * **Frozen** — the same compressed bytes appended to a spill segment
+//!   file on disk, with only the `(segment, offset, len)` location kept
+//!   in the shard map.
+//!
+//! Point reads and writes *promote*: touching a warm or frozen key
+//! rehydrates it to hot under the shard's write lock. Bulk extractions
+//! (similarity sweeps, snapshots, merge-down) *peek*: they decompress
+//! into temporaries and leave the slot in its tier, so a full-store
+//! query cannot blow the residency budget it was meant to respect.
+//!
+//! Demotion runs on a second-chance clock: every slot carries a
+//! `touched` bit set by reads and writes; the scan clears the bit on
+//! first encounter and demotes on second, so the working set survives
+//! while cold keys sink. The scan piggybacks on the existing shard
+//! write locks (one shard per step, hand advancing round-robin) and is
+//! triggered from the write path — there is no background thread.
+
+use crate::store::{SketchStore, Slot};
+use parking_lot::Mutex;
+use sketch_core::CompactSketch;
+use std::fs::{self, File, OpenOptions};
+use std::io::{self, Read, Seek, SeekFrom, Write};
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicBool, AtomicIsize, AtomicU64, AtomicUsize, Ordering};
+
+/// Where a key's registers currently live.
+#[derive(Debug)]
+pub(crate) enum TierSlot<S> {
+    /// Resident sketch — the unchanged fast path.
+    Hot(S),
+    /// Registers compressed in memory through the family's
+    /// [`CompactSketch`] codec.
+    Warm(Box<[u8]>),
+    /// Compressed bytes spilled to an append-only segment file; only
+    /// the location stays in memory.
+    Frozen {
+        /// Index of the segment file holding the bytes.
+        segment: u32,
+        /// Byte offset of the compressed record within the segment.
+        offset: u64,
+        /// Length of the compressed record.
+        len: u32,
+    },
+}
+
+impl<S> TierSlot<S> {
+    /// True for resident slots.
+    pub(crate) fn is_hot(&self) -> bool {
+        matches!(self, TierSlot::Hot(_))
+    }
+}
+
+/// Point-in-time census of the store's memory tiers, from
+/// [`SketchStore::tier_stats`].
+///
+/// Byte figures are as the tier manager accounts them: `hot_bytes` is
+/// the families' own resident-footprint estimate
+/// ([`CompactSketch::resident_bytes`]), `warm_bytes` the compressed
+/// in-memory payloads, `spilled_bytes` the live compressed records on
+/// disk (superseded records in the append-only segments are not
+/// counted).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct TierStats {
+    /// Keys whose sketch is resident.
+    pub hot_keys: usize,
+    /// Keys compressed in memory.
+    pub warm_keys: usize,
+    /// Keys spilled to segment files.
+    pub frozen_keys: usize,
+    /// Estimated resident bytes of the hot sketches.
+    pub hot_bytes: usize,
+    /// Compressed in-memory bytes of the warm entries.
+    pub warm_bytes: usize,
+    /// Live compressed bytes in the spill segments.
+    pub spilled_bytes: usize,
+}
+
+impl TierStats {
+    /// Total number of keys across all tiers.
+    pub fn total_keys(&self) -> usize {
+        self.hot_keys + self.warm_keys + self.frozen_keys
+    }
+
+    /// Bytes counted against the store's memory budget (hot + warm;
+    /// frozen entries cost no memory).
+    pub fn resident_bytes(&self) -> usize {
+        self.hot_bytes + self.warm_bytes
+    }
+}
+
+/// Builder-set tiering knobs (see [`crate::StoreBuilder`]).
+#[derive(Debug, Clone, Default)]
+pub(crate) struct TierPolicy {
+    /// Ceiling on hot + warm bytes; exceeding it triggers demotion.
+    pub(crate) memory_budget_bytes: Option<usize>,
+    /// Run a demotion scan every this-many writes even without budget
+    /// pressure.
+    pub(crate) demote_after_writes: Option<u64>,
+    /// Parent directory for spill segments (default: the OS temp dir).
+    pub(crate) spill_dir: Option<PathBuf>,
+}
+
+/// The [`CompactSketch`] surface captured as plain function pointers,
+/// so the store's generic paths need no `CompactSketch` bound — a
+/// store built without tiering knobs never names the trait.
+pub(crate) struct TierCodec<S> {
+    pub(crate) compress: fn(&S) -> Vec<u8>,
+    pub(crate) decompress: fn(&S, &[u8]) -> Result<S, String>,
+    pub(crate) resident: fn(&S) -> usize,
+}
+
+impl<S> Clone for TierCodec<S> {
+    fn clone(&self) -> Self {
+        *self
+    }
+}
+impl<S> Copy for TierCodec<S> {}
+
+impl<S> std::fmt::Debug for TierCodec<S> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str("TierCodec")
+    }
+}
+
+impl<S: CompactSketch> TierCodec<S> {
+    /// The codec of sketch type `S` (non-capturing closures coerce to
+    /// the function pointers).
+    pub(crate) fn of() -> Self {
+        TierCodec {
+            compress: |sketch| sketch.compress(),
+            decompress: |prototype, bytes| {
+                S::decompress(prototype, bytes).map_err(|error| error.to_string())
+            },
+            resident: |sketch| sketch.resident_bytes(),
+        }
+    }
+}
+
+/// Per-store tiering state: codec, policy, byte accounting, the clock
+/// hand and the lazily created spill segments.
+pub(crate) struct TierRuntime<S> {
+    /// `None` when tiering is disabled — every slot stays hot and the
+    /// accounting below is skipped.
+    pub(crate) codec: Option<TierCodec<S>>,
+    /// Empty factory sketch the codec decompresses against (fixes
+    /// configuration and seed). Present iff `codec` is.
+    pub(crate) prototype: Option<S>,
+    pub(crate) policy: TierPolicy,
+    /// Write counter driving the periodic (`demote_after_writes`) scan.
+    writes: AtomicU64,
+    /// Budget accounting (signed: concurrent deltas may transiently
+    /// cross zero). Exact figures come from [`SketchStore::tier_stats`].
+    hot_bytes: AtomicIsize,
+    warm_bytes: AtomicIsize,
+    /// Guards the clock scan: at most one maintainer runs (set by
+    /// compare-exchange), everyone else skips.
+    scanning: AtomicBool,
+    /// Clock hand (next shard to scan); only the thread holding
+    /// `scanning` moves it.
+    hand: AtomicUsize,
+    segments: Mutex<Option<SegmentStore>>,
+}
+
+impl<S> TierRuntime<S> {
+    pub(crate) fn new(
+        policy: TierPolicy,
+        codec: Option<TierCodec<S>>,
+        prototype: Option<S>,
+    ) -> Self {
+        debug_assert_eq!(codec.is_some(), prototype.is_some());
+        TierRuntime {
+            codec,
+            prototype,
+            policy,
+            writes: AtomicU64::new(0),
+            hot_bytes: AtomicIsize::new(0),
+            warm_bytes: AtomicIsize::new(0),
+            scanning: AtomicBool::new(false),
+            hand: AtomicUsize::new(0),
+            segments: Mutex::new(None),
+        }
+    }
+
+    /// Installs a codec (and its prototype) after construction — used
+    /// by `from_snapshot`, which needs warm restores without any
+    /// demotion policy.
+    pub(crate) fn install_codec(&mut self, codec: TierCodec<S>, prototype: S) {
+        self.codec = Some(codec);
+        self.prototype = Some(prototype);
+    }
+
+    pub(crate) fn enabled(&self) -> bool {
+        self.codec.is_some()
+    }
+
+    /// Resident-byte estimate of one sketch (codec-provided, or the
+    /// struct size when tiering is off).
+    pub(crate) fn resident_of(&self, sketch: &S) -> usize {
+        match self.codec {
+            Some(codec) => (codec.resident)(sketch),
+            None => std::mem::size_of::<S>(),
+        }
+    }
+
+    /// Bumps the write counter, returning the new count.
+    pub(crate) fn note_write(&self) -> u64 {
+        self.writes.fetch_add(1, Ordering::Relaxed) + 1
+    }
+
+    /// Bytes currently counted against the budget (hot + warm).
+    pub(crate) fn resident_total(&self) -> usize {
+        let total =
+            self.hot_bytes.load(Ordering::Relaxed) + self.warm_bytes.load(Ordering::Relaxed);
+        total.max(0) as usize
+    }
+
+    pub(crate) fn over_budget(&self) -> bool {
+        self.policy
+            .memory_budget_bytes
+            .is_some_and(|budget| self.resident_total() > budget)
+    }
+
+    fn add_hot(&self, delta: isize) {
+        self.hot_bytes.fetch_add(delta, Ordering::Relaxed);
+    }
+
+    fn add_warm(&self, delta: isize) {
+        self.warm_bytes.fetch_add(delta, Ordering::Relaxed);
+    }
+
+    /// A new hot slot entered the store.
+    pub(crate) fn account_insert_hot(&self, sketch: &S) {
+        if self.enabled() {
+            self.add_hot(self.resident_of(sketch) as isize);
+        }
+    }
+
+    /// A new warm slot entered the store (snapshot restore).
+    pub(crate) fn account_insert_warm(&self, len: usize) {
+        if self.enabled() {
+            self.add_warm(len as isize);
+        }
+    }
+
+    /// A slot left the store (remove / replace).
+    pub(crate) fn account_remove(&self, state: &TierSlot<S>) {
+        if !self.enabled() {
+            return;
+        }
+        match state {
+            TierSlot::Hot(sketch) => self.add_hot(-(self.resident_of(sketch) as isize)),
+            TierSlot::Warm(bytes) => self.add_warm(-(bytes.len() as isize)),
+            TierSlot::Frozen { .. } => {}
+        }
+    }
+
+    /// A write grew (or shrank) a hot sketch in place.
+    pub(crate) fn account_growth(&self, before: usize, after: usize) {
+        if self.enabled() {
+            self.add_hot(after as isize - before as isize);
+        }
+    }
+
+    /// Warm or frozen bytes rehydrated to a hot sketch.
+    pub(crate) fn account_promote(&self, freed_warm: usize, resident: usize) {
+        self.add_warm(-(freed_warm as isize));
+        self.add_hot(resident as isize);
+    }
+
+    /// A hot sketch compressed down to warm bytes.
+    pub(crate) fn account_demote_to_warm(&self, resident: usize, len: usize) {
+        self.add_hot(-(resident as isize));
+        self.add_warm(len as isize);
+    }
+
+    /// Warm bytes spilled to a segment file.
+    pub(crate) fn account_demote_to_frozen(&self, len: usize) {
+        self.add_warm(-(len as isize));
+    }
+
+    /// Drops all accounting and spill segments (store cleared).
+    pub(crate) fn reset(&self) {
+        self.hot_bytes.store(0, Ordering::Relaxed);
+        self.warm_bytes.store(0, Ordering::Relaxed);
+        *self.segments.lock() = None;
+    }
+
+    /// Rehydrates compressed bytes through the codec.
+    ///
+    /// # Panics
+    /// Panics when the bytes do not round-trip — warm/frozen payloads
+    /// are always produced by the same store's codec, so a failure
+    /// means the spill file (or memory) was corrupted underneath us.
+    pub(crate) fn decode(&self, bytes: &[u8]) -> S {
+        let codec = self
+            .codec
+            .as_ref()
+            .expect("cold slot in a store without a tier codec");
+        let prototype = self
+            .prototype
+            .as_ref()
+            .expect("cold slot in a store without a prototype");
+        (codec.decompress)(prototype, bytes)
+            .unwrap_or_else(|error| panic!("tier codec failed to rehydrate registers: {error}"))
+    }
+
+    /// Appends compressed bytes to the spill segments, creating them on
+    /// first use. Returns `None` when the spill directory cannot be
+    /// created or written — the caller leaves the entry warm.
+    pub(crate) fn append_frozen(&self, bytes: &[u8]) -> Option<(u32, u64, u32)> {
+        let mut guard = self.segments.lock();
+        let segments = match guard.as_mut() {
+            Some(segments) => segments,
+            None => {
+                let created =
+                    SegmentStore::create(self.policy.spill_dir.as_deref(), SEGMENT_ROTATE_BYTES)
+                        .ok()?;
+                guard.insert(created)
+            }
+        };
+        segments.append(bytes).ok()
+    }
+
+    /// Reads a frozen record back.
+    ///
+    /// # Panics
+    /// Panics when the segment file is missing or truncated — that is
+    /// data loss, not a recoverable condition.
+    pub(crate) fn read_frozen(&self, segment: u32, offset: u64, len: u32) -> Vec<u8> {
+        self.segments
+            .lock()
+            .as_mut()
+            .expect("frozen slot without spill segments")
+            .read(segment, offset, len)
+            .expect("spill segment unreadable: frozen registers lost")
+    }
+
+    /// The spill directory, if segments have been created (tests assert
+    /// it disappears with the store).
+    pub(crate) fn spill_path(&self) -> Option<PathBuf> {
+        self.segments.lock().as_ref().map(|s| s.dir.clone())
+    }
+
+    /// Claims the single-maintainer scan slot; `false` means another
+    /// thread is already scanning and the caller should skip.
+    pub(crate) fn begin_scan(&self) -> bool {
+        self.scanning
+            .compare_exchange(false, true, Ordering::Acquire, Ordering::Relaxed)
+            .is_ok()
+    }
+
+    /// Releases the scan slot.
+    pub(crate) fn end_scan(&self) {
+        self.scanning.store(false, Ordering::Release);
+    }
+}
+
+/// Segment files rotate once they reach this size.
+const SEGMENT_ROTATE_BYTES: u64 = 64 << 20;
+
+/// Process-wide counter making concurrent stores' spill dirs distinct.
+static SPILL_DIR_COUNTER: AtomicU64 = AtomicU64::new(0);
+
+/// Append-only spill segments: `seg-N.bin` files under a per-store
+/// temp directory, deleted (with the directory) on drop. Records are
+/// never rewritten; superseded records (a frozen key promoted and later
+/// re-frozen) become dead bytes until the store drops.
+struct SegmentStore {
+    dir: PathBuf,
+    files: Vec<File>,
+    current_len: u64,
+    rotate_bytes: u64,
+}
+
+impl SegmentStore {
+    fn create(parent: Option<&Path>, rotate_bytes: u64) -> io::Result<Self> {
+        let parent = parent
+            .map(Path::to_path_buf)
+            .unwrap_or_else(std::env::temp_dir);
+        let dir = parent.join(format!(
+            "sketch-store-spill-{}-{}",
+            std::process::id(),
+            SPILL_DIR_COUNTER.fetch_add(1, Ordering::Relaxed)
+        ));
+        fs::create_dir_all(&dir)?;
+        let mut store = SegmentStore {
+            dir,
+            files: Vec::new(),
+            current_len: 0,
+            rotate_bytes,
+        };
+        store.rotate()?;
+        Ok(store)
+    }
+
+    fn rotate(&mut self) -> io::Result<()> {
+        let path = self.dir.join(format!("seg-{}.bin", self.files.len()));
+        let file = OpenOptions::new()
+            .create_new(true)
+            .read(true)
+            .write(true)
+            .open(path)?;
+        self.files.push(file);
+        self.current_len = 0;
+        Ok(())
+    }
+
+    fn append(&mut self, bytes: &[u8]) -> io::Result<(u32, u64, u32)> {
+        if self.current_len >= self.rotate_bytes {
+            self.rotate()?;
+        }
+        let segment = (self.files.len() - 1) as u32;
+        let offset = self.current_len;
+        let file = self.files.last_mut().expect("create() opened a segment");
+        file.seek(SeekFrom::Start(offset))?;
+        file.write_all(bytes)?;
+        self.current_len += bytes.len() as u64;
+        Ok((segment, offset, bytes.len() as u32))
+    }
+
+    fn read(&mut self, segment: u32, offset: u64, len: u32) -> io::Result<Vec<u8>> {
+        let file = self.files.get_mut(segment as usize).ok_or_else(|| {
+            io::Error::new(io::ErrorKind::NotFound, "spill segment index out of range")
+        })?;
+        file.seek(SeekFrom::Start(offset))?;
+        let mut buf = vec![0u8; len as usize];
+        file.read_exact(&mut buf)?;
+        Ok(buf)
+    }
+}
+
+impl Drop for SegmentStore {
+    fn drop(&mut self) {
+        // Close handles first, then remove everything; best-effort.
+        self.files.clear();
+        let _ = fs::remove_dir_all(&self.dir);
+    }
+}
+
+impl<S> SketchStore<S> {
+    /// Counts keys and bytes per memory tier (exact: scans every shard
+    /// under its read lock).
+    ///
+    /// ```
+    /// use setsketch::{SetSketch2, SetSketchConfig};
+    /// use sketch_store::SketchStore;
+    ///
+    /// let config = SetSketchConfig::new(4096, 2.0, 20.0, 62).unwrap();
+    /// let store = SketchStore::builder(move || SetSketch2::new(config, 1))
+    ///     .demote_after_writes(8)
+    ///     .build();
+    /// for key in 0..32 {
+    ///     store.ingest(&format!("k{key}"), &[1, 2, 3]);
+    /// }
+    /// let stats = store.tier_stats();
+    /// assert_eq!(stats.total_keys(), 32);
+    /// assert!(stats.warm_keys > 0, "periodic scan demoted cold keys");
+    /// ```
+    pub fn tier_stats(&self) -> TierStats {
+        let mut stats = TierStats::default();
+        for shard in self.shards() {
+            for slot in shard.read().values() {
+                match &slot.state {
+                    TierSlot::Hot(sketch) => {
+                        stats.hot_keys += 1;
+                        stats.hot_bytes += self.tier.resident_of(sketch);
+                    }
+                    TierSlot::Warm(bytes) => {
+                        stats.warm_keys += 1;
+                        stats.warm_bytes += bytes.len();
+                    }
+                    TierSlot::Frozen { len, .. } => {
+                        stats.frozen_keys += 1;
+                        stats.spilled_bytes += *len as usize;
+                    }
+                }
+            }
+        }
+        stats
+    }
+
+    /// The directory holding this store's spill segments — `None`
+    /// until the first key freezes. The directory and every segment
+    /// file in it are removed when the store drops (or on
+    /// [`clear`](Self::clear)).
+    pub fn spill_path(&self) -> Option<std::path::PathBuf> {
+        self.tier.spill_path()
+    }
+
+    /// Rehydrates a slot to hot in place (no-op when already hot).
+    /// Caller holds the shard's write lock. Promotion does **not** bump
+    /// the slot's version: the registers are unchanged, so similarity
+    /// index entries stay valid.
+    pub(crate) fn ensure_hot_slot(&self, slot: &mut Slot<S>) {
+        let promoted = match &slot.state {
+            TierSlot::Hot(_) => return,
+            TierSlot::Warm(bytes) => {
+                let sketch = self.tier.decode(bytes);
+                self.tier
+                    .account_promote(bytes.len(), self.tier.resident_of(&sketch));
+                sketch
+            }
+            TierSlot::Frozen {
+                segment,
+                offset,
+                len,
+            } => {
+                let bytes = self.tier.read_frozen(*segment, *offset, *len);
+                let sketch = self.tier.decode(&bytes);
+                self.tier.account_promote(0, self.tier.resident_of(&sketch));
+                sketch
+            }
+        };
+        slot.state = TierSlot::Hot(promoted);
+    }
+
+    /// Runs `op` against the slot's sketch **without promoting**: hot
+    /// slots are borrowed, cold slots are decompressed into a temporary
+    /// that is dropped afterwards. This is the bulk-extraction path
+    /// (similarity sweeps, snapshots, merge-down) — a full-store query
+    /// must not blow the residency budget it runs under.
+    pub(crate) fn peek_slot<R>(&self, slot: &Slot<S>, op: impl FnOnce(&S) -> R) -> R {
+        match &slot.state {
+            TierSlot::Hot(sketch) => op(sketch),
+            state => op(&self.materialize_cold(state)),
+        }
+    }
+
+    /// Decompresses a warm or frozen state into an owned sketch.
+    ///
+    /// # Panics
+    /// Panics on hot states (callers dispatch those separately).
+    pub(crate) fn materialize_cold(&self, state: &TierSlot<S>) -> S {
+        match state {
+            TierSlot::Hot(_) => unreachable!("materialize_cold on a resident slot"),
+            TierSlot::Warm(bytes) => self.tier.decode(bytes),
+            TierSlot::Frozen {
+                segment,
+                offset,
+                len,
+            } => {
+                let bytes = self.tier.read_frozen(*segment, *offset, *len);
+                self.tier.decode(&bytes)
+            }
+        }
+    }
+
+    /// Converts a removed slot into its sketch, unwinding the byte
+    /// accounting.
+    pub(crate) fn take_sketch(&self, slot: Slot<S>) -> S {
+        self.tier.account_remove(&slot.state);
+        match slot.state {
+            TierSlot::Hot(sketch) => sketch,
+            state => self.materialize_cold(&state),
+        }
+    }
+
+    /// Write-path maintenance hook: counts the write and runs a clock
+    /// scan when the periodic knob fires or the budget is exceeded.
+    /// Call with no shard lock held.
+    pub(crate) fn maybe_maintain(&self) {
+        let Some(codec) = self.tier.codec else { return };
+        let writes = self.tier.note_write();
+        let periodic = self
+            .tier
+            .policy
+            .demote_after_writes
+            .is_some_and(|every| writes % every == 0);
+        let pressure = self.tier.over_budget();
+        if !periodic && !pressure {
+            return;
+        }
+        if !self.tier.begin_scan() {
+            return; // another thread is already scanning
+        }
+        self.clock_scan(codec, pressure);
+        self.tier.end_scan();
+    }
+
+    /// Read-path maintenance hook: promotions grow residency too, so
+    /// point reads check the budget after rehydrating. Call with no
+    /// shard lock held.
+    pub(crate) fn maintain_if_over_budget(&self) {
+        let Some(codec) = self.tier.codec else { return };
+        if !self.tier.over_budget() {
+            return;
+        }
+        if !self.tier.begin_scan() {
+            return;
+        }
+        self.clock_scan(codec, true);
+        self.tier.end_scan();
+    }
+
+    /// The second-chance clock scan. One shard per step, hand advancing
+    /// round-robin; slots touched since the last encounter get their
+    /// bit cleared and survive, untouched hot slots compress to warm,
+    /// and — under budget pressure only — untouched warm slots spill to
+    /// frozen. A periodic scan makes one revolution; a budget scan runs
+    /// up to two (the first revolution may only clear bits) and stops
+    /// as soon as residency is back under budget.
+    fn clock_scan(&self, codec: TierCodec<S>, budget_pressure: bool) {
+        let shard_count = self.shards().len();
+        let revolutions = if budget_pressure { 2 } else { 1 };
+        for _ in 0..shard_count * revolutions {
+            if budget_pressure && !self.tier.over_budget() {
+                return;
+            }
+            let index = self.tier.hand.load(Ordering::Relaxed) % shard_count;
+            self.tier
+                .hand
+                .store((index + 1) % shard_count, Ordering::Relaxed);
+            let mut shard = self.shards()[index].write();
+            for slot in shard.values_mut() {
+                if budget_pressure && !self.tier.over_budget() {
+                    return;
+                }
+                if slot.touched.swap(false, Ordering::Relaxed) {
+                    continue; // second chance
+                }
+                let next = match &slot.state {
+                    TierSlot::Hot(sketch) => {
+                        let resident = (codec.resident)(sketch);
+                        let bytes = (codec.compress)(sketch).into_boxed_slice();
+                        self.tier.account_demote_to_warm(resident, bytes.len());
+                        Some(TierSlot::Warm(bytes))
+                    }
+                    TierSlot::Warm(bytes) if budget_pressure => {
+                        self.tier
+                            .append_frozen(bytes)
+                            .map(|(segment, offset, len)| {
+                                self.tier.account_demote_to_frozen(bytes.len());
+                                TierSlot::Frozen {
+                                    segment,
+                                    offset,
+                                    len,
+                                }
+                            })
+                    }
+                    _ => None,
+                };
+                if let Some(state) = next {
+                    slot.state = state;
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn segments_roundtrip_and_rotate() {
+        let mut segments = SegmentStore::create(None, 64).unwrap();
+        let dir = segments.dir.clone();
+        assert!(dir.is_dir());
+        let a = segments.append(&[1u8; 40]).unwrap();
+        let b = segments.append(&[2u8; 40]).unwrap();
+        // 40 + 40 crosses the 64-byte rotation threshold.
+        let c = segments.append(&[3u8; 8]).unwrap();
+        assert_eq!(a.0, 0);
+        assert_eq!(b.0, 0);
+        assert_eq!(c.0, 1, "third record lands in a rotated segment");
+        assert_eq!(segments.read(a.0, a.1, a.2).unwrap(), vec![1u8; 40]);
+        assert_eq!(segments.read(b.0, b.1, b.2).unwrap(), vec![2u8; 40]);
+        assert_eq!(segments.read(c.0, c.1, c.2).unwrap(), vec![3u8; 8]);
+        drop(segments);
+        assert!(!dir.exists(), "drop removes the spill directory");
+    }
+
+    #[test]
+    fn segment_read_rejects_bad_location() {
+        let mut segments = SegmentStore::create(None, 1024).unwrap();
+        segments.append(&[9u8; 16]).unwrap();
+        assert!(segments.read(7, 0, 4).is_err(), "unknown segment");
+        assert!(segments.read(0, 12, 16).is_err(), "truncated read");
+    }
+}

@@ -1,0 +1,399 @@
+//! Integration tests for the hot / warm / frozen memory tiers.
+//!
+//! * A tiered store under maximal demotion pressure must be
+//!   indistinguishable from a plain store across interleaved inserts,
+//!   merges, point queries and snapshot/restore cycles — for every
+//!   sketch family (demote → promote is bit-for-bit).
+//! * A budget-capped store must ingest 10× more keys than its budget
+//!   holds without errors or data loss.
+//! * A warm SetSketch (m = 4096) must occupy ≤ 40% of its resident
+//!   footprint and rehydrate with a bit-identical estimate.
+//! * Frozen segment files must never leak: they vanish when the store
+//!   drops (or is cleared).
+//! * Snapshots carrying compact (cold) entries must round-trip through
+//!   serde and restore without rehydration.
+
+use hyperloglog::{GhllConfig, GhllSketch};
+use hyperminhash::{HyperMinHash, HyperMinHashConfig};
+use minhash::{MinHash, OnePermutationHashing, SuperMinHash};
+use proptest::collection::vec;
+use proptest::prelude::*;
+use setsketch::{SetSketch1, SetSketch2, SetSketchConfig};
+use sketch_core::{BatchInsert, CardinalityEstimator, CompactSketch, Mergeable};
+use sketch_store::{SketchStore, StoreSnapshot};
+use thetasketch::ThetaSketch;
+
+/// One step of an interleaved tier workload over a small key space.
+#[derive(Debug, Clone)]
+enum Op {
+    /// Ingest `len` consecutive elements starting at `start` into key
+    /// number `key`.
+    Ingest { key: usize, start: u64, len: u64 },
+    /// Merge key `src` into key `dst` (skipped unless both exist).
+    Merge { dst: usize, src: usize },
+    /// Compare the tiered store's view of `key` against the reference.
+    Query { key: usize },
+    /// Snapshot the tiered store and replace it with the restore.
+    SnapshotRestore,
+}
+
+fn key_name(key: usize) -> String {
+    format!("k{key}")
+}
+
+fn decode_op((kind, pair, start, len): (u8, usize, u64, u64)) -> Op {
+    // `pair` packs two key indices over a 5-key space: dst = pair / 5,
+    // src = pair % 5 (the vendored proptest shim caps tuples at four
+    // elements, so the two indices travel in one value).
+    let (a, b) = (pair / 5, pair % 5);
+    match kind {
+        0..=2 => Op::Ingest { key: a, start, len },
+        3 | 4 => Op::Merge { dst: a, src: b },
+        5 | 6 => Op::Query { key: a },
+        _ => Op::SnapshotRestore,
+    }
+}
+
+fn ops_strategy() -> impl Strategy<Value = Vec<Op>> {
+    vec((0u8..8, 0usize..25, 0u64..1_000, 1u64..40), 1..30)
+        .prop_map(|raw| raw.into_iter().map(decode_op).collect())
+}
+
+/// Runs `ops` against a maximally tiered store (1-byte budget, demotion
+/// scan on every write) and a plain store side by side, asserting they
+/// agree at every query and at the end.
+fn drive<S>(
+    factory: impl Fn() -> S + Clone + Send + Sync + 'static,
+    ops: &[Op],
+) -> Result<(), TestCaseError>
+where
+    S: BatchInsert + Mergeable + CompactSketch + Clone + PartialEq + std::fmt::Debug,
+{
+    let mut tiered = SketchStore::builder(factory.clone())
+        .shards(4)
+        .memory_budget_bytes(1)
+        .demote_after_writes(1)
+        .build();
+    let plain = SketchStore::builder(factory.clone()).shards(4).build();
+
+    for op in ops {
+        match op {
+            Op::Ingest { key, start, len } => {
+                let batch: Vec<u64> = (*start..start + len).collect();
+                let name = key_name(*key);
+                tiered.ingest(&name, &batch);
+                plain.ingest(&name, &batch);
+            }
+            Op::Merge { dst, src } => {
+                let (dst, src) = (key_name(*dst), key_name(*src));
+                if dst != src && plain.contains_key(&dst) && plain.contains_key(&src) {
+                    let merged = plain.merge_keys(&[&dst, &src]).expect("keys exist");
+                    plain.put(&dst, merged);
+                    let merged = tiered.merge_keys(&[&dst, &src]).expect("keys exist");
+                    tiered.put(&dst, merged);
+                }
+            }
+            Op::Query { key } => {
+                let name = key_name(*key);
+                prop_assert_eq!(
+                    tiered.get(&name),
+                    plain.get(&name),
+                    "query {} diverged",
+                    &name
+                );
+            }
+            Op::SnapshotRestore => {
+                let snapshot = tiered.snapshot();
+                tiered = SketchStore::from_snapshot(snapshot, factory.clone());
+            }
+        }
+    }
+
+    let mut expected_keys = plain.keys();
+    expected_keys.sort_unstable();
+    let mut tiered_keys = tiered.keys();
+    tiered_keys.sort_unstable();
+    prop_assert_eq!(&tiered_keys, &expected_keys, "key sets diverged");
+    for key in &expected_keys {
+        prop_assert_eq!(
+            tiered.get(key),
+            plain.get(key),
+            "final state of {} diverged",
+            key
+        );
+    }
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    #[test]
+    fn tiered_matches_plain_setsketch2(ops in ops_strategy()) {
+        let cfg = SetSketchConfig::new(64, 2.0, 20.0, 62).unwrap();
+        drive(move || SetSketch2::new(cfg, 2), &ops)?;
+    }
+
+    #[test]
+    fn tiered_matches_plain_ghll(ops in ops_strategy()) {
+        let cfg = GhllConfig::hyperloglog(64).unwrap();
+        drive(move || GhllSketch::new(cfg, 3), &ops)?;
+    }
+
+    #[test]
+    fn tiered_matches_plain_minhash(ops in ops_strategy()) {
+        drive(|| MinHash::new(64, 4), &ops)?;
+    }
+}
+
+/// A fixed op script exercising every transition at least once: insert,
+/// re-insert after demotion, merge of cold keys, queries, and two
+/// snapshot/restore cycles.
+fn fixed_script() -> Vec<Op> {
+    use Op::*;
+    vec![
+        Ingest {
+            key: 0,
+            start: 0,
+            len: 30,
+        },
+        Ingest {
+            key: 1,
+            start: 10,
+            len: 30,
+        },
+        Query { key: 0 },
+        Ingest {
+            key: 2,
+            start: 50,
+            len: 5,
+        },
+        Merge { dst: 0, src: 1 },
+        SnapshotRestore,
+        Query { key: 1 },
+        Ingest {
+            key: 0,
+            start: 100,
+            len: 20,
+        },
+        Query { key: 0 },
+        Ingest {
+            key: 3,
+            start: 0,
+            len: 64,
+        },
+        Merge { dst: 2, src: 3 },
+        SnapshotRestore,
+        Query { key: 2 },
+        Ingest {
+            key: 4,
+            start: 7,
+            len: 9,
+        },
+        Query { key: 4 },
+        Query { key: 3 },
+    ]
+}
+
+/// Demote → promote must be bit-for-bit for all eight sketch families:
+/// the three native compact codecs (SetSketch1/2, GHLL) and the five
+/// serde-snapshot fallbacks.
+#[test]
+fn all_families_roundtrip_through_tiers() {
+    let ops = fixed_script();
+    let ss_cfg = SetSketchConfig::new(64, 2.0, 20.0, 62).unwrap();
+    drive(move || SetSketch1::new(ss_cfg, 1), &ops).unwrap();
+    drive(move || SetSketch2::new(ss_cfg, 2), &ops).unwrap();
+    let ghll_cfg = GhllConfig::hyperloglog(64).unwrap();
+    drive(move || GhllSketch::new(ghll_cfg, 3), &ops).unwrap();
+    drive(|| MinHash::new(64, 4), &ops).unwrap();
+    drive(|| SuperMinHash::new(64, 5), &ops).unwrap();
+    drive(|| OnePermutationHashing::new(64, 6), &ops).unwrap();
+    let hmh_cfg = HyperMinHashConfig::new(64, 10).unwrap();
+    drive(move || HyperMinHash::new(hmh_cfg, 7), &ops).unwrap();
+    drive(|| ThetaSketch::new(128, 8), &ops).unwrap();
+}
+
+/// A store capped at 10 sketches' worth of memory must absorb 100 keys
+/// without errors, keep every key queryable, and stay near its budget.
+#[test]
+fn budget_capped_store_ingests_ten_times_budget() {
+    let config = SetSketchConfig::new(4096, 2.0, 20.0, 62).unwrap();
+    let factory = move || SetSketch2::new(config, 9);
+    let one_sketch = factory().resident_bytes();
+    let budget = 10 * one_sketch;
+    let store = SketchStore::builder(factory)
+        .shards(8)
+        .memory_budget_bytes(budget)
+        .build();
+
+    let keys = 100usize;
+    for i in 0..keys {
+        let base = i as u64 * 1_000;
+        let batch: Vec<u64> = (base..base + 200).collect();
+        store.ingest(&format!("key-{i}"), &batch);
+    }
+
+    let stats = store.tier_stats();
+    assert_eq!(stats.total_keys(), keys, "no key may be dropped: {stats:?}");
+    assert!(
+        stats.warm_keys + stats.frozen_keys > 0,
+        "10× overcommit must force demotions: {stats:?}"
+    );
+    assert!(
+        stats.resident_bytes() <= budget + one_sketch,
+        "resident {} exceeds budget {} by more than one in-flight sketch: {stats:?}",
+        stats.resident_bytes(),
+        budget
+    );
+
+    // No data loss: sampled keys rehydrate to exactly the reference
+    // sketch built from the same elements.
+    for i in (0..keys).step_by(7) {
+        let base = i as u64 * 1_000;
+        let batch: Vec<u64> = (base..base + 200).collect();
+        let mut reference = factory();
+        reference.insert_batch(&batch);
+        assert_eq!(
+            store.get(&format!("key-{i}")).expect("key survived"),
+            reference,
+            "key-{i} lost data through the tiers"
+        );
+    }
+}
+
+/// The warm encoding of a dense m = 4096 SetSketch must be at most 40%
+/// of the resident footprint (≥ 2.5× compression), and rehydrate to a
+/// bit-identical sketch and cardinality estimate.
+#[test]
+fn warm_slot_is_under_forty_percent_of_resident() {
+    let config = SetSketchConfig::new(4096, 2.0, 20.0, 62).unwrap();
+    let factory = move || SetSketch2::new(config, 11);
+    let store = SketchStore::builder(factory)
+        .shards(1)
+        .demote_after_writes(1)
+        .build();
+
+    let batch: Vec<u64> = (0..20_000).collect();
+    store.ingest("dense", &batch);
+    let mut reference = factory();
+    reference.insert_batch(&batch);
+
+    // Each write runs one clock revolution; the first clears "dense"'s
+    // second-chance bit, the second demotes it to warm.
+    store.ingest("other-a", &[1, 2, 3]);
+    store.ingest("other-b", &[4, 5, 6]);
+
+    // A snapshot exposes the exact warm payload without promoting.
+    let snapshot = store.snapshot();
+    let compact = snapshot
+        .get("dense")
+        .expect("key present")
+        .as_compact()
+        .expect("dense must have been demoted to warm")
+        .len();
+    let resident = reference.resident_bytes();
+    assert!(
+        compact * 5 <= resident * 2,
+        "warm payload {compact} B exceeds 40% of resident {resident} B"
+    );
+
+    // Promotion restores the registers bit for bit.
+    assert_eq!(store.get("dense").expect("key present"), reference);
+    let expected = reference.cardinality();
+    let actual = store.cardinality("dense").expect("key present");
+    assert!(
+        actual == expected,
+        "estimate drifted through the warm tier: {actual} != {expected}"
+    );
+}
+
+/// Frozen segment files live under a private spill directory that is
+/// removed when the store drops — and when it is cleared.
+#[test]
+fn frozen_segments_never_leak() {
+    let parent = std::env::temp_dir().join(format!("tier-leak-test-{}", std::process::id()));
+    std::fs::create_dir_all(&parent).unwrap();
+    let config = SetSketchConfig::new(256, 2.0, 20.0, 62).unwrap();
+    let build = |seed: u64| {
+        SketchStore::builder(move || SetSketch2::new(config, seed))
+            .shards(2)
+            .memory_budget_bytes(1)
+            .spill_dir(&parent)
+            .build()
+    };
+
+    // Store dropped → spill directory removed.
+    let store = build(3);
+    for i in 0..20u64 {
+        store.ingest(&format!("k{i}"), &[i, i + 1, i + 2]);
+    }
+    let stats = store.tier_stats();
+    assert!(
+        stats.frozen_keys > 0,
+        "1-byte budget must freeze entries: {stats:?}"
+    );
+    let spill = store.spill_path().expect("segments were created");
+    assert!(spill.starts_with(&parent), "spill dir must honour the knob");
+    assert!(spill.exists());
+    assert!(store.get("k0").is_some(), "frozen keys must rehydrate");
+    drop(store);
+    assert!(!spill.exists(), "spill dir must be removed on drop");
+
+    // Store cleared → spill directory removed while the store lives on.
+    let store = build(4);
+    for i in 0..20u64 {
+        store.ingest(&format!("k{i}"), &[i, i + 1, i + 2]);
+    }
+    let spill = store.spill_path().expect("segments were created");
+    assert!(spill.exists());
+    store.clear();
+    assert!(!spill.exists(), "spill dir must be removed on clear");
+    assert!(store.is_empty());
+
+    assert_eq!(
+        std::fs::read_dir(&parent).unwrap().count(),
+        0,
+        "no segment files may leak into the parent directory"
+    );
+    std::fs::remove_dir_all(&parent).unwrap();
+}
+
+/// Snapshots of a tiered store carry cold entries compressed; they
+/// survive JSON serde bit for bit and restore as warm slots that are
+/// not rehydrated until touched.
+#[test]
+fn snapshot_with_compact_entries_roundtrips_through_json() {
+    let config = SetSketchConfig::new(128, 2.0, 20.0, 62).unwrap();
+    let factory = move || SetSketch2::new(config, 5);
+    let store = SketchStore::builder(factory)
+        .shards(2)
+        .memory_budget_bytes(1)
+        .build();
+    for i in 0..8u64 {
+        store.ingest(&format!("k{i}"), &[i * 10, i * 10 + 1, i * 10 + 2]);
+    }
+
+    let snapshot = store.snapshot();
+    assert!(
+        snapshot.entries.values().any(|e| e.as_compact().is_some()),
+        "a 1-byte budget must leave cold entries in the snapshot"
+    );
+
+    let json = serde_json::to_string(&snapshot).unwrap();
+    let back: StoreSnapshot<SetSketch2> = serde_json::from_str(&json).unwrap();
+    assert_eq!(back, snapshot);
+
+    // Restoring keeps compact entries compressed: re-snapshotting the
+    // untouched restore reproduces the original snapshot exactly.
+    let restored = SketchStore::from_snapshot(back, factory);
+    assert_eq!(restored.snapshot(), snapshot);
+    for i in 0..8u64 {
+        let key = format!("k{i}");
+        assert_eq!(
+            restored.get(&key),
+            store.get(&key),
+            "{key} diverged after restore"
+        );
+    }
+}
