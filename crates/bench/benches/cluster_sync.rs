@@ -1,0 +1,266 @@
+//! Wire economics of cluster replication: full-state sync versus
+//! version-pruned delta sync.
+//!
+//! A 3-node in-process cluster (the deterministic [`MemNetwork`], which
+//! frames every exchange through the real codec and counts the bytes a
+//! socket would carry) is loaded with disjoint per-node streams and
+//! synced to convergence. The harness then measures, per maintenance
+//! round after a small write burst:
+//!
+//! * **full sync** — every node pulls every peer's entire state
+//!   (`after = 0`), the anti-entropy worst case;
+//! * **delta sync** — every node pulls past its high-water mark, so
+//!   only the burst's keys ship.
+//!
+//! Steady state is where replication cost lives, and the version floor
+//! is the whole point: after warm-up, delta rounds must move a small
+//! fraction of the full-state bytes. Results land in
+//! `BENCH_cluster.json` at the workspace root.
+//!
+//! Passing `--test` (i.e. `cargo bench --bench cluster_sync -- --test`)
+//! or setting `CLUSTER_SYNC_SMOKE=1` runs a tiny corpus instead —
+//! every code path exercised in seconds, JSON untouched.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use setsketch::{SetSketch2, SetSketchConfig};
+use sketch_cluster::{ClusterNode, MemNetwork, NodeId};
+use sketch_store::SketchStore;
+use std::sync::Arc;
+
+/// True when the bench should run the tiny smoke corpus.
+fn smoke_mode() -> bool {
+    std::env::args().any(|a| a == "--test") || std::env::var_os("CLUSTER_SYNC_SMOKE").is_some()
+}
+
+/// The paper's dense register-array shape (m = 4096, b = 2): the
+/// payload size a production deployment would ship per key.
+fn cluster_config() -> SetSketchConfig {
+    SetSketchConfig::new(4096, 2.0, 20.0, 62).expect("valid")
+}
+
+const NODES: u32 = 3;
+
+struct Fixture {
+    net: Arc<MemNetwork>,
+    nodes: Vec<Arc<ClusterNode<SetSketch2>>>,
+}
+
+fn build_cluster(keys: u64, elements_per_key: u64) -> Fixture {
+    let config = cluster_config();
+    let ids: Vec<NodeId> = (0..NODES).collect();
+    let net = Arc::new(MemNetwork::new());
+    let nodes: Vec<_> = ids
+        .iter()
+        .map(|&id| {
+            let store = SketchStore::builder(move || SetSketch2::new(config, 7))
+                .shards(8)
+                .build();
+            Arc::new(ClusterNode::new(id, ids.iter().copied(), store))
+        })
+        .collect();
+    for node in &nodes {
+        net.register(Arc::clone(node));
+    }
+    // Disjoint streams: node i records its own third of every key.
+    for (i, node) in nodes.iter().enumerate() {
+        for key in 0..keys {
+            let elements: Vec<u64> = (0..elements_per_key)
+                .map(|j| (i as u64) << 40 | key << 20 | j)
+                .collect();
+            node.store().ingest(&format!("key-{key:04}"), &elements);
+        }
+    }
+    Fixture { net, nodes }
+}
+
+/// All-pairs delta rounds until nothing ships (convergence warm-up).
+fn sync_to_convergence(fixture: &Fixture) -> usize {
+    for round in 1..=16 {
+        let mut shipped = 0;
+        for node in &fixture.nodes {
+            for (_, report) in node.sync_round(&*fixture.net) {
+                shipped += report.expect("in-memory sync").keys_received;
+            }
+        }
+        if shipped == 0 {
+            return round;
+        }
+    }
+    panic!("cluster failed to converge in 16 rounds");
+}
+
+struct RoundCost {
+    bytes: u64,
+    keys_shipped: u64,
+    exchanges: u64,
+}
+
+/// One measured all-pairs round over `pull`, with the network counters
+/// isolated to just that round.
+fn measured_round(
+    fixture: &Fixture,
+    pull: impl Fn(&ClusterNode<SetSketch2>, NodeId) -> sketch_cluster::SyncReport,
+) -> RoundCost {
+    fixture.net.reset_stats();
+    let mut keys_shipped = 0;
+    for node in &fixture.nodes {
+        for &peer in node.peers() {
+            keys_shipped += pull(node, peer).keys_received as u64;
+        }
+    }
+    let stats = fixture.net.stats();
+    RoundCost {
+        bytes: stats.total_bytes(),
+        keys_shipped,
+        exchanges: stats.exchanges,
+    }
+}
+
+struct Comparison {
+    keys: u64,
+    warmup_rounds: usize,
+    full: RoundCost,
+    delta_quiet: RoundCost,
+    burst_keys: u64,
+    delta_burst: RoundCost,
+}
+
+fn run_comparison(keys: u64, elements_per_key: u64, burst_keys: u64) -> Comparison {
+    let fixture = build_cluster(keys, elements_per_key);
+    let warmup_rounds = sync_to_convergence(&fixture);
+
+    // Worst case: every node re-pulls every peer's full state.
+    let full = measured_round(&fixture, |node, peer| {
+        node.full_sync_with(&*fixture.net, peer).expect("full sync")
+    });
+    // Full pulls re-ship everything but change nothing, and unchanged
+    // merges don't move versions — so the delta rounds below start
+    // from a quiescent cluster.
+
+    // Steady state, nothing written: deltas are empty frames.
+    let delta_quiet = measured_round(&fixture, |node, peer| {
+        node.sync_with(&*fixture.net, peer).expect("delta sync")
+    });
+
+    // A small write burst touches `burst_keys` keys on node 0; the
+    // next delta round ships exactly those.
+    for key in 0..burst_keys {
+        fixture.nodes[0]
+            .store()
+            .ingest(&format!("key-{key:04}"), &[u64::MAX - key]);
+    }
+    let delta_burst = measured_round(&fixture, |node, peer| {
+        node.sync_with(&*fixture.net, peer).expect("delta sync")
+    });
+
+    Comparison {
+        keys,
+        warmup_rounds,
+        full,
+        delta_quiet,
+        burst_keys,
+        delta_burst,
+    }
+}
+
+fn print_comparison(c: &Comparison) {
+    let line = |label: &str, cost: &RoundCost| {
+        println!(
+            "{:<58} {:>12} B/round  {:>6} keys shipped  {:>4} exchanges",
+            format!("cluster_sync/{label}/{}keys", c.keys),
+            cost.bytes,
+            cost.keys_shipped,
+            cost.exchanges,
+        );
+    };
+    line("full_round", &c.full);
+    line("delta_round_quiet", &c.delta_quiet);
+    line(
+        &format!("delta_round_burst{}", c.burst_keys),
+        &c.delta_burst,
+    );
+    println!(
+        "cluster_sync: delta burst round moves {:.1}% of a full round ({} warm-up rounds)",
+        100.0 * c.delta_burst.bytes as f64 / c.full.bytes as f64,
+        c.warmup_rounds,
+    );
+}
+
+fn write_json(c: &Comparison, elements_per_key: u64) {
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_cluster.json");
+    let cost = |r: &RoundCost| {
+        format!(
+            "{{\"bytes\": {}, \"keys_shipped\": {}, \"exchanges\": {}}}",
+            r.bytes, r.keys_shipped, r.exchanges
+        )
+    };
+    let json = format!(
+        "{{\n  \"note\": \"3-node in-process cluster (SetSketch m=4096 b=2, {keys} keys, \
+         {epk} elements/key/node as disjoint streams), synced to convergence, then one \
+         measured all-pairs round per mode over the frame-accurate MemNetwork: full_round \
+         re-pulls every peer's whole state (after=0, the anti-entropy worst case); \
+         delta_round_quiet pulls past the high-water marks with nothing written (empty \
+         frames); delta_round_burst follows a burst touching {burst} of {keys} keys on one \
+         node, so the version floor prunes the rest; bytes count both directions including \
+         length prefixes\",\n  \
+         \"config\": {{\"nodes\": {nodes}, \"m\": 4096, \"b\": 2.0, \"keys\": {keys}, \
+         \"elements_per_key\": {epk}, \"burst_keys\": {burst}, \"seed\": 7}},\n  \
+         \"warmup_rounds_to_convergence\": {warmup},\n  \
+         \"rounds\": {{\n    \"full\": {full},\n    \"delta_quiet\": {quiet},\n    \
+         \"delta_burst\": {burst_cost}\n  }},\n  \
+         \"delta_burst_vs_full\": {ratio:.4}\n}}\n",
+        keys = c.keys,
+        epk = elements_per_key,
+        burst = c.burst_keys,
+        nodes = NODES,
+        warmup = c.warmup_rounds,
+        full = cost(&c.full),
+        quiet = cost(&c.delta_quiet),
+        burst_cost = cost(&c.delta_burst),
+        ratio = c.delta_burst.bytes as f64 / c.full.bytes as f64,
+    );
+    if let Err(error) = std::fs::write(path, json) {
+        eprintln!("warning: could not write {path}: {error}");
+    } else {
+        println!("recorded cluster sync measurements into {path}");
+    }
+}
+
+fn bench_sync_modes(_c: &mut Criterion) {
+    let smoke = smoke_mode();
+    let (keys, elements_per_key, burst) = if smoke { (12, 50, 2) } else { (256, 2_000, 8) };
+    let comparison = run_comparison(keys, elements_per_key, burst);
+    assert!(
+        comparison.delta_quiet.bytes < comparison.full.bytes,
+        "a quiet delta round must be cheaper than a full round"
+    );
+    assert!(
+        comparison.delta_burst.bytes < comparison.full.bytes,
+        "a burst delta round must still beat shipping full state"
+    );
+    print_comparison(&comparison);
+    if !smoke {
+        write_json(&comparison, elements_per_key);
+    }
+}
+
+/// Criterion micro-benchmark: the per-exchange cost of one quiescent
+/// delta pull (request + empty response through the full codec).
+fn bench_quiet_pull(c: &mut Criterion) {
+    let fixture = build_cluster(if smoke_mode() { 8 } else { 64 }, 50);
+    sync_to_convergence(&fixture);
+    let node = Arc::clone(&fixture.nodes[0]);
+    let peer = node.peers()[0];
+    let mut group = c.benchmark_group("cluster_sync");
+    group.bench_function("quiet_delta_pull", |bencher| {
+        bencher.iter(|| {
+            node.sync_with(&*fixture.net, peer)
+                .expect("pull")
+                .keys_received
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_sync_modes, bench_quiet_pull);
+criterion_main!(benches);

@@ -1,0 +1,117 @@
+//! Error domain of cluster operations.
+
+use crate::wire::{ErrorCode, FrameError, NodeId, WireError};
+use sketch_store::StoreError;
+
+/// Errors surfaced by cluster nodes, transports and clients.
+#[derive(Debug)]
+pub enum ClusterError {
+    /// A frame failed to encode or decode.
+    Wire(WireError),
+    /// The transport could not complete the exchange (connection
+    /// refused, reset, dropped frame, partition, …). Transient by
+    /// nature: delta sync retries on the next round.
+    Transport(String),
+    /// The target node is not known to the transport.
+    UnknownPeer(NodeId),
+    /// The remote node answered with an error.
+    Remote {
+        /// Machine-readable failure class.
+        code: ErrorCode,
+        /// The remote node's detail string.
+        detail: String,
+    },
+    /// A key holds no sketch (local or remote).
+    KeyNotFound(String),
+    /// A shipped state's configuration or seed does not match.
+    Incompatible(String),
+    /// A compact payload failed to decompress.
+    BadPayload(String),
+    /// The peer answered with a message type the exchange does not
+    /// allow.
+    Protocol(String),
+}
+
+impl ClusterError {
+    /// Maps a remote error frame to the matching local variant, so
+    /// callers can branch on [`ClusterError::KeyNotFound`] without
+    /// caring whether the miss was local or remote.
+    pub fn from_remote(code: ErrorCode, detail: String) -> Self {
+        match code {
+            ErrorCode::KeyNotFound => ClusterError::KeyNotFound(detail),
+            ErrorCode::Incompatible => ClusterError::Incompatible(detail),
+            ErrorCode::BadPayload => ClusterError::BadPayload(detail),
+            _ => ClusterError::Remote { code, detail },
+        }
+    }
+
+    /// True when the failure is a missing key rather than a fault.
+    pub fn is_key_not_found(&self) -> bool {
+        matches!(self, ClusterError::KeyNotFound(_))
+    }
+
+    /// True for transport-level failures that a later retry may clear
+    /// (the anti-entropy loop treats these as routine).
+    pub fn is_transient(&self) -> bool {
+        matches!(
+            self,
+            ClusterError::Transport(_) | ClusterError::UnknownPeer(_)
+        )
+    }
+}
+
+impl std::fmt::Display for ClusterError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ClusterError::Wire(error) => write!(f, "wire protocol error: {error}"),
+            ClusterError::Transport(detail) => write!(f, "transport failed: {detail}"),
+            ClusterError::UnknownPeer(peer) => write!(f, "no route to node {peer}"),
+            ClusterError::Remote { code, detail } => {
+                write!(f, "remote node refused ({code:?}): {detail}")
+            }
+            ClusterError::KeyNotFound(key) => write!(f, "no sketch under key {key:?}"),
+            ClusterError::Incompatible(detail) => {
+                write!(f, "incompatible sketch state: {detail}")
+            }
+            ClusterError::BadPayload(detail) => {
+                write!(f, "compact payload rejected: {detail}")
+            }
+            ClusterError::Protocol(detail) => {
+                write!(f, "unexpected response: {detail}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ClusterError {}
+
+impl From<WireError> for ClusterError {
+    fn from(error: WireError) -> Self {
+        ClusterError::Wire(error)
+    }
+}
+
+impl From<FrameError> for ClusterError {
+    fn from(error: FrameError) -> Self {
+        match error {
+            FrameError::Io(error) => ClusterError::Transport(error.to_string()),
+            FrameError::Wire(error) => ClusterError::Wire(error),
+        }
+    }
+}
+
+impl From<std::io::Error> for ClusterError {
+    fn from(error: std::io::Error) -> Self {
+        ClusterError::Transport(error.to_string())
+    }
+}
+
+impl From<StoreError> for ClusterError {
+    fn from(error: StoreError) -> Self {
+        match error {
+            StoreError::KeyNotFound(key) => ClusterError::KeyNotFound(key),
+            StoreError::Incompatible(source) => ClusterError::Incompatible(source.to_string()),
+            other => ClusterError::Protocol(other.to_string()),
+        }
+    }
+}

@@ -1,0 +1,197 @@
+//! Fault injection for convergence tests.
+//!
+//! [`FaultyTransport`] wraps any [`Transport`] and, driven by a seeded
+//! [`WyRand`], makes exchanges fail the ways real networks do:
+//!
+//! * **drop** — the exchange errors; the caller saw nothing;
+//! * **stale replay** — a previously recorded response for the same
+//!   peer is returned instead of a fresh one. From the caller's view
+//!   this is a duplicated or reordered frame arriving late: it must be
+//!   absorbed by idempotent merging and the monotonic high-water mark;
+//! * **duplicate** — the request is delivered twice (the peer handles
+//!   it both times), modeling a retransmitted request frame;
+//! * **partition** — a peer set is unreachable until healed, modeling
+//!   a network split.
+//!
+//! The wrapper is deterministic for a fixed seed and call sequence —
+//! rerunning a failing test replays the identical fault schedule.
+
+use crate::error::ClusterError;
+use crate::transport::Transport;
+use crate::wire::{Message, NodeId};
+use parking_lot::Mutex;
+use sketch_rand::{Rng64, WyRand};
+use std::collections::{HashMap, HashSet};
+
+/// Per-fault probabilities, each in `[0, 1]`.
+#[derive(Debug, Clone, Copy)]
+pub struct FaultPlan {
+    /// Chance an exchange is dropped entirely.
+    pub drop: f64,
+    /// Chance a recorded earlier response is replayed instead of
+    /// performing a fresh exchange.
+    pub stale_replay: f64,
+    /// Chance the request is delivered to the peer twice.
+    pub duplicate: f64,
+}
+
+impl FaultPlan {
+    /// A plan that never injects anything (partitions still work).
+    pub fn none() -> Self {
+        FaultPlan {
+            drop: 0.0,
+            stale_replay: 0.0,
+            duplicate: 0.0,
+        }
+    }
+
+    /// A lossy-but-livable mix: 20% drops, 10% stale replays, 10%
+    /// duplicated deliveries.
+    pub fn lossy() -> Self {
+        FaultPlan {
+            drop: 0.20,
+            stale_replay: 0.10,
+            duplicate: 0.10,
+        }
+    }
+}
+
+struct FaultState {
+    rng: WyRand,
+    /// Last few responses per peer, fodder for stale replays.
+    recorded: HashMap<NodeId, Vec<Message>>,
+    /// Peers currently unreachable through this transport.
+    partitioned: HashSet<NodeId>,
+    injected: u64,
+}
+
+/// How many old responses per peer are kept for stale replays.
+const REPLAY_DEPTH: usize = 4;
+
+/// A [`Transport`] wrapper that injects faults per [`FaultPlan`].
+///
+/// Each node under test gets its **own** wrapper around the shared
+/// inner network, so partitions can be asymmetric and fault schedules
+/// independent per node.
+pub struct FaultyTransport<T> {
+    inner: T,
+    plan: FaultPlan,
+    state: Mutex<FaultState>,
+}
+
+impl<T: Transport> FaultyTransport<T> {
+    /// Wraps `inner`, drawing fault decisions from `seed`.
+    pub fn new(inner: T, plan: FaultPlan, seed: u64) -> Self {
+        FaultyTransport {
+            inner,
+            plan,
+            state: Mutex::new(FaultState {
+                rng: WyRand::new(seed),
+                recorded: HashMap::new(),
+                partitioned: HashSet::new(),
+                injected: 0,
+            }),
+        }
+    }
+
+    /// Makes `peer` unreachable until [`heal`](Self::heal)ed.
+    pub fn partition(&self, peer: NodeId) {
+        self.state.lock().partitioned.insert(peer);
+    }
+
+    /// Restores reachability of `peer`.
+    pub fn heal(&self, peer: NodeId) {
+        self.state.lock().partitioned.remove(&peer);
+    }
+
+    /// Restores reachability of every peer.
+    pub fn heal_all(&self) {
+        self.state.lock().partitioned.clear();
+    }
+
+    /// How many faults (drops, replays, duplicates) have fired so far
+    /// — lets tests assert the schedule actually injected something.
+    pub fn faults_injected(&self) -> u64 {
+        self.state.lock().injected
+    }
+
+    /// The wrapped transport.
+    pub fn inner(&self) -> &T {
+        &self.inner
+    }
+}
+
+impl<T: Transport> Transport for FaultyTransport<T> {
+    fn request(&self, peer: NodeId, message: &Message) -> Result<Message, ClusterError> {
+        enum Verdict {
+            Partitioned,
+            Drop,
+            Replay(Message),
+            Duplicate,
+            Clean,
+        }
+        let verdict = {
+            let mut state = self.state.lock();
+            if state.partitioned.contains(&peer) {
+                Verdict::Partitioned
+            } else if state.rng.unit_exclusive() < self.plan.drop {
+                state.injected += 1;
+                Verdict::Drop
+            } else if state.rng.unit_exclusive() < self.plan.stale_replay {
+                // Replay only if something was recorded for this peer;
+                // otherwise run the exchange cleanly.
+                let roll = state.rng.next_u64() as usize;
+                let replay = state
+                    .recorded
+                    .get(&peer)
+                    .filter(|history| !history.is_empty())
+                    .map(|history| history[roll % history.len()].clone());
+                match replay {
+                    Some(message) => {
+                        state.injected += 1;
+                        Verdict::Replay(message)
+                    }
+                    None => Verdict::Clean,
+                }
+            } else if state.rng.unit_exclusive() < self.plan.duplicate {
+                state.injected += 1;
+                Verdict::Duplicate
+            } else {
+                Verdict::Clean
+            }
+        };
+        match verdict {
+            Verdict::Partitioned => Err(ClusterError::Transport(format!(
+                "partitioned from node {peer}"
+            ))),
+            Verdict::Drop => Err(ClusterError::Transport(format!(
+                "frame to node {peer} dropped"
+            ))),
+            Verdict::Replay(message) => Ok(message),
+            Verdict::Duplicate => {
+                // The peer sees the request twice; the caller gets the
+                // second response.
+                let _ = self.inner.request(peer, message)?;
+                let response = self.inner.request(peer, message)?;
+                self.record(peer, &response);
+                Ok(response)
+            }
+            Verdict::Clean => {
+                let response = self.inner.request(peer, message)?;
+                self.record(peer, &response);
+                Ok(response)
+            }
+        }
+    }
+}
+
+impl<T: Transport> FaultyTransport<T> {
+    fn record(&self, peer: NodeId, response: &Message) {
+        let mut state = self.state.lock();
+        let history = state.recorded.entry(peer).or_default();
+        if history.len() == REPLAY_DEPTH {
+            history.remove(0);
+        }
+        history.push(response.clone());
+    }
+}

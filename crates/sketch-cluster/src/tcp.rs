@@ -1,0 +1,233 @@
+//! Real sockets: a frame-serving TCP server per node, and a
+//! [`Transport`] that dials peers by address.
+//!
+//! Both sides speak the length-prefixed frame format from
+//! [`wire`](crate::wire) over plain `std::net` TCP — no async runtime,
+//! no external dependencies. Connections are short-lived: the
+//! transport dials, writes one request frame, reads one response
+//! frame, and hangs up. That keeps the server loop trivial (a thread
+//! per live connection) and makes crash/restart behavior obvious; at
+//! sketch scale the handshake cost is dwarfed by register payloads.
+
+use crate::error::ClusterError;
+use crate::node::{ClusterNode, ClusterSketch};
+use crate::transport::Transport;
+use crate::wire::{read_frame, write_frame, FrameError, Message, NodeId};
+use parking_lot::RwLock;
+use std::collections::HashMap;
+use std::io;
+use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+/// A [`Transport`] that reaches peers over TCP, one connection per
+/// exchange.
+#[derive(Default)]
+pub struct TcpTransport {
+    peers: RwLock<HashMap<NodeId, SocketAddr>>,
+}
+
+impl TcpTransport {
+    /// An empty address book.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds (or replaces) the address of `peer`.
+    pub fn add_peer(&self, peer: NodeId, addr: SocketAddr) {
+        self.peers.write().insert(peer, addr);
+    }
+
+    /// The known address of `peer`, if any.
+    pub fn peer_addr(&self, peer: NodeId) -> Option<SocketAddr> {
+        self.peers.read().get(&peer).copied()
+    }
+}
+
+impl Transport for TcpTransport {
+    fn request(&self, peer: NodeId, message: &Message) -> Result<Message, ClusterError> {
+        let addr = self
+            .peers
+            .read()
+            .get(&peer)
+            .copied()
+            .ok_or(ClusterError::UnknownPeer(peer))?;
+        let mut stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true).ok();
+        write_frame(&mut stream, message)?;
+        Ok(read_frame(&mut stream)?)
+    }
+}
+
+/// A node's serving half: accepts connections, answers request frames
+/// with [`ClusterNode::handle`], and optionally runs the gossip timer.
+///
+/// Drop or [`shutdown`](Self::shutdown) stops the accept loop and the
+/// gossip thread; a [`Message::Shutdown`] frame from any client does
+/// the same remotely (the demo and CI use it to stop nodes cleanly).
+pub struct TcpServer {
+    local_addr: SocketAddr,
+    stop: Arc<AtomicBool>,
+    accept_handle: Option<JoinHandle<()>>,
+    gossip_handle: Option<JoinHandle<()>>,
+}
+
+impl TcpServer {
+    /// Binds `addr` (use port 0 for an ephemeral port — see
+    /// [`local_addr`](Self::local_addr)) and serves `node` on a
+    /// background accept thread.
+    pub fn serve<S: ClusterSketch>(
+        node: Arc<ClusterNode<S>>,
+        addr: impl ToSocketAddrs,
+    ) -> io::Result<TcpServer> {
+        let listener = TcpListener::bind(addr)?;
+        let local_addr = listener.local_addr()?;
+        let stop = Arc::new(AtomicBool::new(false));
+        let accept_stop = Arc::clone(&stop);
+        let accept_handle = std::thread::Builder::new()
+            .name(format!("cluster-accept-{}", node.id()))
+            .spawn(move || accept_loop(listener, local_addr, node, accept_stop))?;
+        Ok(TcpServer {
+            local_addr,
+            stop,
+            accept_handle: Some(accept_handle),
+            gossip_handle: None,
+        })
+    }
+
+    /// Starts the gossip thread: every `interval`, one
+    /// [`gossip_tick`](ClusterNode::gossip_tick) over `transport`.
+    /// Transient per-peer failures are expected and ignored — the next
+    /// tick retries.
+    pub fn start_gossip<S: ClusterSketch>(
+        &mut self,
+        node: Arc<ClusterNode<S>>,
+        transport: Arc<TcpTransport>,
+        interval: Duration,
+    ) {
+        let stop = Arc::clone(&self.stop);
+        let handle = std::thread::Builder::new()
+            .name(format!("cluster-gossip-{}", node.id()))
+            .spawn(move || {
+                while !stop.load(Ordering::Acquire) {
+                    std::thread::sleep(interval);
+                    if stop.load(Ordering::Acquire) {
+                        break;
+                    }
+                    let _ = node.gossip_tick(&*transport);
+                }
+            })
+            .expect("spawn gossip thread");
+        self.gossip_handle = Some(handle);
+    }
+
+    /// The bound address (the actual port when bound with port 0).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.local_addr
+    }
+
+    /// Stops the gossip and accept threads and waits for both.
+    pub fn shutdown(mut self) {
+        self.stop_and_join();
+    }
+
+    /// Blocks until the server stops on its own — i.e. until some
+    /// client sends a [`Message::Shutdown`] frame. This is how a node
+    /// process parks its main thread while the accept and gossip
+    /// threads do the work.
+    pub fn wait(mut self) {
+        if let Some(handle) = self.accept_handle.take() {
+            let _ = handle.join();
+        }
+        if let Some(handle) = self.gossip_handle.take() {
+            let _ = handle.join();
+        }
+    }
+
+    fn stop_and_join(&mut self) {
+        self.stop.store(true, Ordering::Release);
+        // Unblock the accept loop with a throwaway connection.
+        let _ = TcpStream::connect(self.local_addr);
+        if let Some(handle) = self.gossip_handle.take() {
+            let _ = handle.join();
+        }
+        if let Some(handle) = self.accept_handle.take() {
+            let _ = handle.join();
+        }
+    }
+}
+
+impl Drop for TcpServer {
+    fn drop(&mut self) {
+        self.stop_and_join();
+    }
+}
+
+fn accept_loop<S: ClusterSketch>(
+    listener: TcpListener,
+    local_addr: SocketAddr,
+    node: Arc<ClusterNode<S>>,
+    stop: Arc<AtomicBool>,
+) {
+    let mut workers = Vec::new();
+    for stream in listener.incoming() {
+        if stop.load(Ordering::Acquire) {
+            break;
+        }
+        let Ok(stream) = stream else { continue };
+        let node = Arc::clone(&node);
+        let conn_stop = Arc::clone(&stop);
+        if let Ok(handle) = std::thread::Builder::new()
+            .name(format!("cluster-conn-{}", node.id()))
+            .spawn(move || serve_connection(stream, local_addr, &node, &conn_stop))
+        {
+            workers.push(handle);
+        }
+        workers.retain(|handle| !handle.is_finished());
+    }
+    for handle in workers {
+        let _ = handle.join();
+    }
+}
+
+/// Serves one connection until the client hangs up, a frame is
+/// unrecoverable, or a [`Message::Shutdown`] arrives (which also stops
+/// the whole server).
+fn serve_connection<S: ClusterSketch>(
+    mut stream: TcpStream,
+    local_addr: SocketAddr,
+    node: &ClusterNode<S>,
+    stop: &AtomicBool,
+) {
+    stream.set_nodelay(true).ok();
+    loop {
+        let request = match read_frame(&mut stream) {
+            Ok(message) => message,
+            // Clean EOF or connection reset: the client is done.
+            Err(FrameError::Io(_)) => return,
+            // Malformed frame: report it and hang up — framing is
+            // unrecoverable once the byte stream is off the rails.
+            Err(FrameError::Wire(error)) => {
+                let reply = Message::Error {
+                    code: crate::wire::ErrorCode::BadRequest,
+                    detail: error.to_string(),
+                };
+                let _ = write_frame(&mut stream, &reply);
+                return;
+            }
+        };
+        if matches!(request, Message::Shutdown) {
+            let _ = write_frame(&mut stream, &Message::Ack);
+            stop.store(true, Ordering::Release);
+            // Unblock the accept loop so it observes the flag.
+            let _ = TcpStream::connect(local_addr);
+            return;
+        }
+        let response = node.handle(request);
+        if write_frame(&mut stream, &response).is_err() {
+            return;
+        }
+    }
+}

@@ -1,0 +1,232 @@
+//! Version-based delta extraction and CRDT-style merge application —
+//! the store-side substrate of multi-node replication.
+//!
+//! Every slot carries a version stamped from the store's monotonic
+//! write counter (see [`crate::store`]). A replica that has applied
+//! everything up to counter value `v` can therefore ask for "all keys
+//! whose version exceeds `v`" and receive exactly the keys that moved —
+//! [`SketchStore::delta_since`] — with each key's registers as the
+//! family's [`CompactSketch`] payload, so cold (warm/frozen) entries
+//! ship their already-compressed bytes without rehydration and hot
+//! entries are compressed on the way out.
+//!
+//! On the receiving side, [`SketchStore::merge_in`] applies a shipped
+//! state with union-merge semantics (create on first sight, merge
+//! otherwise). Merging is idempotent, commutative and associative, so
+//! deltas may be duplicated, reordered or re-sent wholesale without
+//! corrupting anything. The version stamp only moves when the merge
+//! **changed** the local registers — an echo of state a replica already
+//! holds does not re-mark the key as dirty, which is what lets a mesh
+//! of replicas pulling deltas from each other quiesce instead of
+//! ping-ponging unchanged keys forever.
+
+use crate::error::StoreError;
+use crate::store::{SketchStore, Slot};
+use crate::tier::TierSlot;
+use sketch_core::{CompactSketch, Mergeable};
+
+/// One key's state inside a [`StoreDelta`]: the key, the version that
+/// produced the payload, and the registers in the family's
+/// [`CompactSketch`] wire format.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DeltaEntry {
+    /// The key whose state this entry carries.
+    pub key: String,
+    /// The slot version the payload was extracted at (in the *source*
+    /// store's write-counter domain).
+    pub version: u64,
+    /// The registers, compressed through the family's
+    /// [`CompactSketch`] codec.
+    pub payload: Vec<u8>,
+}
+
+/// The keys of one store whose version moved past a floor, with their
+/// compact payloads — what one replica ships to another during delta
+/// sync (see [`SketchStore::delta_since`]).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StoreDelta {
+    /// Write-counter value observed **before** the sweep: every key
+    /// stamped at or below this value is included (given it exceeds the
+    /// requested floor), so a receiver that applies the delta may
+    /// advance its high-water mark for this source to `up_to`. Keys
+    /// stamped concurrently above `up_to` ship in the *next* delta —
+    /// at-least-once, which idempotent merging makes harmless.
+    pub up_to: u64,
+    /// Changed keys in ascending key order.
+    pub entries: Vec<DeltaEntry>,
+}
+
+impl StoreDelta {
+    /// Number of keys the delta carries.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True when no key's version moved.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Total payload bytes across all entries.
+    pub fn payload_bytes(&self) -> usize {
+        self.entries.iter().map(|e| e.payload.len()).sum()
+    }
+}
+
+impl<S> SketchStore<S> {
+    /// Current value of the store's monotonic write counter — the
+    /// domain of every slot version. A replica that has applied a delta
+    /// produced at counter value `v` holds everything stamped `≤ v`.
+    pub fn write_epoch(&self) -> u64 {
+        self.write_epoch_load()
+    }
+
+    /// The version stamp of `key`'s slot, without promoting it out of
+    /// a cold tier (`None` when the key holds no sketch).
+    pub fn version_of(&self, key: &str) -> Option<u64> {
+        self.shard(key).read().get(key).map(|slot| slot.version)
+    }
+
+    /// Every key with its version stamp, in ascending key order —
+    /// point-in-time per shard, no promotion. The sweep a replication
+    /// peer diffs against its high-water marks.
+    pub fn key_versions(&self) -> Vec<(String, u64)> {
+        let mut versions: Vec<(String, u64)> = self
+            .shards()
+            .iter()
+            .flat_map(|shard| {
+                shard
+                    .read()
+                    .iter()
+                    .map(|(key, slot)| (key.clone(), slot.version))
+                    .collect::<Vec<_>>()
+            })
+            .collect();
+        versions.sort_unstable_by(|a, b| a.0.cmp(&b.0));
+        versions
+    }
+
+    /// Builds an empty sketch through the store's factory — the
+    /// configuration and seed every stored sketch shares. Replication
+    /// peers use it as the [`CompactSketch`] decoding prototype for
+    /// payloads shipped from compatible stores.
+    pub fn empty_sketch(&self) -> S {
+        self.make_sketch()
+    }
+}
+
+impl<S: CompactSketch> SketchStore<S> {
+    /// Extracts every key whose version exceeds `after`, with its
+    /// registers as a [`CompactSketch`] payload — the shipping side of
+    /// delta sync.
+    ///
+    /// The sweep **peeks**: hot sketches are compressed on the way out,
+    /// warm entries clone their already-compressed bytes, frozen
+    /// entries read theirs from the spill segment — nothing is promoted
+    /// or demoted, so shipping a delta never perturbs the memory tiers
+    /// (tier moves do not bump versions, so they never appear in a
+    /// delta either). `delta_since(0)` is a full-state transfer.
+    ///
+    /// Entries come back in ascending key order; see
+    /// [`StoreDelta::up_to`] for the high-water-mark contract.
+    pub fn delta_since(&self, after: u64) -> StoreDelta {
+        // Read the counter *before* sweeping: a key stamped after this
+        // load may be missed by its shard's read pass, so `up_to` must
+        // not claim to cover it.
+        let up_to = self.write_epoch_load();
+        let mut entries = Vec::new();
+        for shard in self.shards() {
+            for (key, slot) in shard.read().iter() {
+                if slot.version <= after {
+                    continue;
+                }
+                let payload = match &slot.state {
+                    TierSlot::Hot(sketch) => sketch.compress(),
+                    cold => self.cold_payload(cold),
+                };
+                entries.push(DeltaEntry {
+                    key: key.clone(),
+                    version: slot.version,
+                    payload,
+                });
+            }
+        }
+        entries.sort_unstable_by(|a, b| a.key.cmp(&b.key));
+        StoreDelta { up_to, entries }
+    }
+}
+
+impl<S: Mergeable + Clone + PartialEq> SketchStore<S> {
+    /// Applies a shipped state to `key` with union-merge semantics:
+    /// creates the key when absent, merges otherwise. Returns `true`
+    /// when the local state changed.
+    ///
+    /// The version stamp moves **only on change** — re-applying a state
+    /// the store already covers (a duplicated delta, or an echo of
+    /// registers that originated here) leaves the version alone, so
+    /// replication meshes quiesce once everyone holds everything
+    /// instead of re-shipping unchanged keys forever.
+    ///
+    /// A key created here is stamped like any other write, so it ships
+    /// onward in this store's own deltas — that transitivity is what
+    /// lets gossip spread state beyond direct peer pairs.
+    ///
+    /// # Errors
+    /// [`StoreError::Incompatible`] when `incoming`'s configuration or
+    /// seed does not match the stored (or factory-built) sketch.
+    pub fn merge_in(&self, key: &str, incoming: &S) -> Result<bool, StoreError> {
+        let changed = {
+            let mut shard = self.shard(key).write();
+            match shard.get_mut(key) {
+                None => {
+                    // Merge into a factory-built empty sketch rather
+                    // than installing `incoming` verbatim: union with
+                    // the empty set is identity, and the merge is where
+                    // configuration mismatches surface.
+                    let mut fresh = self.make_sketch();
+                    fresh
+                        .merge_from(incoming)
+                        .map_err(StoreError::incompatible)?;
+                    self.tier.account_insert_hot(&fresh);
+                    let version = self.next_version();
+                    shard.insert(key.to_owned(), Slot::hot(fresh, version));
+                    true
+                }
+                Some(slot) => {
+                    self.ensure_hot_slot(slot);
+                    slot.touch();
+                    let before_bytes = self.tier.resident_of(slot.hot_ref());
+                    let current = slot.hot_mut();
+                    let merged = current
+                        .merged_with(incoming)
+                        .map_err(StoreError::incompatible)?;
+                    let changed = merged != *current;
+                    if changed {
+                        *current = merged;
+                        slot.version = self.next_version();
+                    }
+                    let after_bytes = self.tier.resident_of(slot.hot_ref());
+                    self.tier.account_growth(before_bytes, after_bytes);
+                    changed
+                }
+            }
+        };
+        self.maybe_maintain();
+        Ok(changed)
+    }
+}
+
+impl<S> SketchStore<S> {
+    /// Reads a cold slot's compressed payload without promoting it.
+    fn cold_payload(&self, state: &TierSlot<S>) -> Vec<u8> {
+        match state {
+            TierSlot::Hot(_) => unreachable!("hot slots are compressed directly"),
+            TierSlot::Warm(bytes) => bytes.to_vec(),
+            TierSlot::Frozen {
+                segment,
+                offset,
+                len,
+            } => self.tier.read_frozen(*segment, *offset, *len),
+        }
+    }
+}

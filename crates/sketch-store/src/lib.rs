@@ -37,6 +37,12 @@
 //!   default-on) and restores with [`SketchStore::from_snapshot`];
 //!   tiered entries travel compressed ([`SnapshotEntry::Compact`])
 //!   without being rehydrated;
+//! * **delta sync** — [`SketchStore::delta_since`] sweeps out the keys
+//!   whose version stamp moved past a floor as compact payloads
+//!   ([`StoreDelta`]), and [`SketchStore::merge_in`] applies shipped
+//!   states with idempotent union-merge semantics, bumping the version
+//!   only when the registers actually changed — the replication
+//!   substrate the `sketch-cluster` crate builds on;
 //! * **memory tiers** — with the builder knobs
 //!   [`StoreBuilder::memory_budget_bytes`] and
 //!   [`StoreBuilder::demote_after_writes`], a second-chance clock scan
@@ -114,6 +120,7 @@
 #![warn(missing_docs)]
 
 mod builder;
+mod delta;
 mod error;
 mod pipeline;
 mod query;
@@ -122,6 +129,7 @@ mod store;
 mod tier;
 
 pub use builder::StoreBuilder;
+pub use delta::{DeltaEntry, StoreDelta};
 pub use error::StoreError;
 pub use pipeline::{
     block_on, Flush, IngestPipeline, PipelineFull, SendOp, DEFAULT_QUEUE_DEPTH,

@@ -230,8 +230,14 @@ impl<S> SketchStore<S> {
 
     /// A fresh, never-repeated version stamp for a mutated slot.
     #[inline]
-    fn next_version(&self) -> u64 {
+    pub(crate) fn next_version(&self) -> u64 {
         self.write_epoch.fetch_add(1, Ordering::Relaxed) + 1
+    }
+
+    /// Current write-counter value, for the delta module's sweeps.
+    #[inline]
+    pub(crate) fn write_epoch_load(&self) -> u64 {
+        self.write_epoch.load(Ordering::Relaxed)
     }
 
     /// Builds an empty sketch through the store's factory (the
@@ -262,7 +268,7 @@ impl<S> SketchStore<S> {
     }
 
     #[inline]
-    fn shard(&self, key: &str) -> &Shard<S> {
+    pub(crate) fn shard(&self, key: &str) -> &Shard<S> {
         &self.shards[self.shard_index(key)]
     }
 

@@ -1,177 +1,262 @@
-//! A miniature sketch-serving service on top of [`sketch_store`].
+//! A replicated sketch service: three OS processes, one logical store.
 //!
-//! The shape mirrors `streaming_shards`, one layer up: a fleet of
-//! ingest workers feeds *named* sketches (one per tenant) in a shared
-//! concurrent store, while the query side answers cardinality,
-//! similarity and union questions and ships a point-in-time snapshot of
-//! the whole store as JSON.
+//! Run with `cargo run --release --example store_service`. The parent
+//! process re-spawns itself three times (`store_service node <id>`);
+//! each child binds a TCP server on an ephemeral loopback port, prints
+//! `PORT <n>`, learns its peers' addresses over stdin, and gossips:
+//! version-pruned delta pulls plus a rotating full anti-entropy pull,
+//! every 50 ms. The parent then acts as the client:
 //!
-//! This example exercises the store's front door end to end:
+//! 1. **Routed writes** — each tenant's events go to the tenant's
+//!    consistent-hash owner only, as length-prefixed `Ingest` frames.
+//!    A local reference store is fed the identical stream.
+//! 2. **Convergence check, bit-for-bit** — the parent polls each node
+//!    with a full `DeltaRequest` and compares every key's compact
+//!    register payload against the reference store's. Replication is
+//!    done when all three replicas ship byte-identical registers.
+//! 3. **Cluster queries** — cardinality and Jaccard answered by single
+//!    replicas; top-k similarity and union cardinality fanned out over
+//!    all of them and merged client-side.
+//! 4. **Clean shutdown** — a `Shutdown` frame per node; every child
+//!    joins its threads and exits 0.
 //!
-//! 1. **Builder construction** — `SketchStore::builder(factory)` with
-//!    explicit shard, queue-depth and writer-thread knobs.
-//! 2. **Pipelined ingest** — request threads enqueue into the
-//!    `IngestPipeline` (bounded queues, dedicated writer threads,
-//!    backpressure) instead of applying sketch updates themselves; a
-//!    scoped-thread synchronous pass over the same workload is kept as
-//!    the comparison path, and both must produce identical states.
-//! 3. **Typed query options** — the all-pairs similarity sweep runs
-//!    once with exact verification and once in the §3.3 D₀-based
-//!    approximate-quantity mode (`QueryOptions::default().approximate()`).
-//!
-//! Run with `cargo run --release --example store_service`.
+//! Tenant t records users divisible by t + 1, so the expected overlap
+//! structure is known exactly: J(search, tenant_t) = 1 / (t + 1).
 
 use setsketch::{SetSketch2, SetSketchConfig};
+use sketch_cluster::{
+    ClusterClient, ClusterNode, HashRing, Message, NodeId, TcpServer, TcpTransport, Transport,
+};
+use sketch_core::CompactSketch;
 use sketch_rand::mix64;
-use sketch_store::{QueryOptions, SketchStore};
-use std::time::Instant;
+use sketch_store::SketchStore;
+use std::collections::BTreeMap;
+use std::io::{BufRead, BufReader, Write};
+use std::net::SocketAddr;
+use std::process::{Child, Command, Stdio};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
 
 const TENANTS: [&str; 4] = ["search", "ads", "mail", "maps"];
-const WORKERS: u64 = 8;
-const BATCHES_PER_WORKER: u64 = 40;
-const BATCH: u64 = 2_000;
+const NODES: u32 = 3;
+const EVENTS: u64 = 40_000;
+const GOSSIP_EVERY: Duration = Duration::from_millis(50);
+
+fn config() -> SetSketchConfig {
+    SetSketchConfig::example_16bit()
+}
+
+fn store() -> SketchStore<SetSketch2> {
+    let config = config();
+    SketchStore::builder(move || SetSketch2::new(config, 42))
+        .shards(8)
+        .build()
+}
 
 /// Tenant t records users whose id is divisible by (t + 1): nested
 /// subsets with known overlaps.
-fn tenant_events(worker: u64, batch: u64, tenant: usize) -> Vec<u64> {
-    let offset = (worker * BATCHES_PER_WORKER + batch) * BATCH;
-    (offset..offset + BATCH)
+fn tenant_events(tenant: usize, range: std::ops::Range<u64>) -> Vec<u64> {
+    range
         .map(|i| mix64(i) % 1_000_000)
         .filter(|user| user % (tenant as u64 + 1) == 0)
         .collect()
 }
 
 fn main() {
-    let config = SetSketchConfig::example_16bit();
+    let args: Vec<String> = std::env::args().collect();
+    match args.get(1).map(String::as_str) {
+        Some("node") => run_node(args[2].parse().expect("node id")),
+        _ => run_cluster(),
+    }
+}
 
-    // --- Construction: the builder is the store's one front door. ----
-    let store = SketchStore::builder(move || SetSketch2::new(config, 42))
-        .shards(8)
-        .queue_depth(256)
-        .writer_threads(2)
-        .build_shared();
+// --- Child: one replica process. ------------------------------------
 
-    // --- Ingest, pipelined: 8 producers enqueue, 2 writers apply. ----
-    // Producers never touch a shard lock; full queues block them
-    // (backpressure) instead of growing memory.
-    let pipelined = Instant::now();
-    let pipeline = store.clone().pipeline();
-    std::thread::scope(|scope| {
-        for worker in 0..WORKERS {
-            let pipeline = &pipeline;
-            scope.spawn(move || {
-                for batch in 0..BATCHES_PER_WORKER {
-                    for (t, tenant) in TENANTS.iter().enumerate() {
-                        pipeline.ingest(tenant, &tenant_events(worker, batch, t));
-                    }
-                }
-            });
+fn run_node(id: NodeId) {
+    let peers: Vec<NodeId> = (0..NODES).collect();
+    let node = Arc::new(ClusterNode::new(id, peers, store()));
+    let mut server = TcpServer::serve(Arc::clone(&node), "127.0.0.1:0").expect("bind loopback");
+
+    // Handshake: tell the parent our port, learn everyone else's.
+    println!("PORT {}", server.local_addr().port());
+    std::io::stdout().flush().expect("flush port line");
+    let mut line = String::new();
+    std::io::stdin()
+        .read_line(&mut line)
+        .expect("read peer map");
+    let transport = Arc::new(TcpTransport::new());
+    for pair in line
+        .trim()
+        .strip_prefix("PEERS ")
+        .expect("PEERS line")
+        .split(' ')
+    {
+        let (peer, port) = pair.split_once(':').expect("id:port");
+        let peer: NodeId = peer.parse().expect("peer id");
+        let addr: SocketAddr = format!("127.0.0.1:{port}").parse().expect("addr");
+        transport.add_peer(peer, addr);
+    }
+
+    // Gossip in the background; park until a Shutdown frame arrives.
+    server.start_gossip(Arc::clone(&node), transport, GOSSIP_EVERY);
+    server.wait();
+}
+
+// --- Parent: spawn, ingest, verify, query, shut down. ---------------
+
+fn spawn_nodes() -> (Vec<Child>, Vec<u16>) {
+    let exe = std::env::current_exe().expect("own path");
+    let mut children = Vec::new();
+    let mut ports = Vec::new();
+    for id in 0..NODES {
+        let mut child = Command::new(&exe)
+            .args(["node", &id.to_string()])
+            .stdin(Stdio::piped())
+            .stdout(Stdio::piped())
+            .spawn()
+            .expect("spawn node process");
+        let stdout = child.stdout.as_mut().expect("child stdout");
+        let mut line = String::new();
+        BufReader::new(stdout)
+            .read_line(&mut line)
+            .expect("PORT line");
+        let port: u16 = line
+            .trim()
+            .strip_prefix("PORT ")
+            .expect("PORT line")
+            .parse()
+            .expect("port number");
+        children.push(child);
+        ports.push(port);
+    }
+    // Everyone knows everyone: ship the full peer map to each child.
+    let map: Vec<String> = (0..NODES as usize)
+        .map(|i| format!("{i}:{}", ports[i]))
+        .collect();
+    let map = format!("PEERS {}\n", map.join(" "));
+    for child in &mut children {
+        child
+            .stdin
+            .as_mut()
+            .expect("child stdin")
+            .write_all(map.as_bytes())
+            .expect("send peer map");
+    }
+    (children, ports)
+}
+
+/// Pulls every node's full state and compares each key's compact
+/// payload against the reference — returns true when all three
+/// replicas are byte-identical to it.
+fn replicas_match(transport: &TcpTransport, reference: &BTreeMap<String, Vec<u8>>) -> bool {
+    for node in 0..NODES {
+        let response = match transport.request(node, &Message::DeltaRequest { after: 0 }) {
+            Ok(response) => response,
+            Err(_) => return false,
+        };
+        let Message::Delta { entries, .. } = response else {
+            return false;
+        };
+        if entries.len() != reference.len() {
+            return false;
         }
-    });
-    pipeline.flush(); // every enqueued batch is applied past this point
-    let pipelined = pipelined.elapsed();
-
-    // --- The same workload, synchronously (the comparison path). -----
-    // Scoped threads apply sketch updates themselves under shard locks;
-    // idempotent + commutative inserts make the final states identical.
-    let sync_store = SketchStore::builder(move || SetSketch2::new(config, 42))
-        .shards(8)
-        .build();
-    let synchronous = Instant::now();
-    std::thread::scope(|scope| {
-        for worker in 0..WORKERS {
-            let sync_store = &sync_store;
-            scope.spawn(move || {
-                for batch in 0..BATCHES_PER_WORKER {
-                    for (t, tenant) in TENANTS.iter().enumerate() {
-                        sync_store.ingest(tenant, &tenant_events(worker, batch, t));
-                    }
-                }
-            });
+        for entry in &entries {
+            if reference.get(&entry.key) != Some(&entry.payload) {
+                return false;
+            }
         }
-    });
-    let synchronous = synchronous.elapsed();
+    }
+    true
+}
 
-    for tenant in TENANTS {
-        assert_eq!(
-            store.get(tenant),
-            sync_store.get(tenant),
-            "pipelined and synchronous ingest must agree"
-        );
+fn run_cluster() {
+    let (mut children, ports) = spawn_nodes();
+    let transport = Arc::new(TcpTransport::new());
+    for (id, &port) in ports.iter().enumerate() {
+        transport.add_peer(id as NodeId, format!("127.0.0.1:{port}").parse().unwrap());
+    }
+    let ids: Vec<NodeId> = (0..NODES).collect();
+    let ring = HashRing::new(&ids);
+    let reference = store();
+    let client = ClusterClient::new(Arc::clone(&transport), ring, reference.empty_sketch());
+
+    // --- Routed ingest: each tenant lives on its ring owner. ---------
+    let started = Instant::now();
+    for (t, tenant) in TENANTS.iter().enumerate() {
+        println!("tenant {tenant:<8} -> node {}", client.owner(tenant));
+        // Ship in batches, as a real event pipeline would.
+        for chunk_start in (0..EVENTS).step_by(8_000) {
+            let events = tenant_events(t, chunk_start..(chunk_start + 8_000).min(EVENTS));
+            client.ingest(tenant, &events).expect("routed ingest");
+            reference.ingest(tenant, &events);
+        }
     }
     println!(
-        "ingested {} tenants on {} shards: pipelined {:.0} ms (2 writers) vs synchronous {:.0} ms — identical states",
-        store.len(),
-        store.shard_count(),
-        pipelined.as_secs_f64() * 1e3,
-        synchronous.as_secs_f64() * 1e3,
+        "ingested {} tenants across {NODES} processes in {:.0} ms",
+        TENANTS.len(),
+        started.elapsed().as_secs_f64() * 1e3,
+    );
+
+    // --- Wait for gossip to replicate everything, bit-for-bit. ------
+    let expected: BTreeMap<String, Vec<u8>> = TENANTS
+        .iter()
+        .map(|&tenant| {
+            let sketch = reference.get(tenant).expect("tenant ingested");
+            (tenant.to_owned(), sketch.compress())
+        })
+        .collect();
+    let deadline = Instant::now() + Duration::from_secs(30);
+    let converge = Instant::now();
+    while !replicas_match(&transport, &expected) {
+        assert!(
+            Instant::now() < deadline,
+            "cluster failed to converge in 30 s"
+        );
+        std::thread::sleep(Duration::from_millis(25));
+    }
+    println!(
+        "all {NODES} replicas byte-identical to the reference after {:.0} ms of gossip",
+        converge.elapsed().as_secs_f64() * 1e3,
     );
     println!();
 
-    // --- Queries. -----------------------------------------------------
-    println!("{:<8} {:>12}", "tenant", "distinct");
+    // --- Queries against the cluster. --------------------------------
+    println!("{:<8} {:>12} {:>12}", "tenant", "cluster", "reference");
     for tenant in TENANTS {
-        let estimate = store.cardinality(tenant).expect("tenant exists");
-        println!("{tenant:<8} {estimate:>12.0}");
+        let remote = client.cardinality(tenant).expect("replica answers");
+        let local = reference.cardinality(tenant).expect("tenant exists");
+        assert_eq!(remote, local, "replicated estimate must match exactly");
+        println!("{tenant:<8} {remote:>12.0} {local:>12.0}");
     }
     println!();
-
-    // Pairwise similarity: "search" holds every user, tenant t holds the
-    // multiples of t+1, so J(search, tenant_t) = 1 / (t + 1).
     for (t, tenant) in TENANTS.iter().enumerate().skip(1) {
-        let joint = store
-            .joint("search", tenant)
-            .expect("compatible by construction");
+        let j = client.jaccard("search", tenant).expect("pair answers");
         println!(
-            "J(search, {tenant}) = {:.3}   (expected {:.3}, intersection ≈ {:.0})",
-            joint.jaccard,
-            1.0 / (t as f64 + 1.0),
-            joint.intersection,
+            "J(search, {tenant}) = {j:.3}   (expected {:.3})",
+            1.0 / (t as f64 + 1.0)
         );
     }
-    println!();
-
-    // All-pairs sweep, exact vs the §3.3 approximate-quantity mode.
-    let exact = store.all_pairs(0.4).expect("compatible");
-    let approx = store
-        .all_pairs_with(0.4, &QueryOptions::default().approximate())
-        .expect("compatible");
-    println!("all_pairs(J >= 0.4), exact verification:");
-    for pair in &exact {
-        println!(
-            "  {} ~ {}  J = {:.3}",
-            pair.left, pair.right, pair.quantities.jaccard
-        );
-    }
-    println!("same sweep, Verification::Approximate (D₀-based, §3.3):");
-    for pair in &approx {
-        println!(
-            "  {} ~ {}  J ≈ {:.3}",
-            pair.left, pair.right, pair.quantities.jaccard
-        );
-    }
-    println!();
-
-    // Union across all tenants == "search" (everything else is a subset).
-    let union = store
-        .union_cardinality(&TENANTS)
-        .expect("tenants are mergeable");
-    let search = store.cardinality("search").expect("tenant exists");
-    println!("union of all tenants: {union:.0} (search alone: {search:.0})");
-
-    // --- Snapshot shipping. -------------------------------------------
-    let snapshot = store.snapshot();
-    let json = serde_json::to_string(&snapshot).expect("snapshot serializes");
+    let neighbors = client.similar_keys("search", 3, 0.3).expect("fan-out");
+    let ranked: Vec<String> = neighbors
+        .iter()
+        .map(|n| format!("{} ({:.3})", n.key, n.jaccard()))
+        .collect();
     println!(
-        "snapshot: {} sketches, {} bytes of JSON",
-        snapshot.len(),
-        json.len()
+        "top-3 neighbors of search, merged from all replicas: {}",
+        ranked.join(", ")
     );
-    let restored: sketch_store::StoreSnapshot<SetSketch2> =
-        serde_json::from_str(&json).expect("snapshot deserializes");
-    let store2 = SketchStore::from_snapshot(restored, move || SetSketch2::new(config, 42));
-    let j = store2
-        .jaccard("search", "ads")
-        .expect("restored store answers");
-    println!("restored store answers J(search, ads) = {j:.3}");
+    let union = client.union_cardinality(&TENANTS).expect("union fan-out");
+    let search = client.cardinality("search").expect("tenant exists");
+    println!("union of all tenants: {union:.0} (search alone: {search:.0})");
+    println!();
+
+    // --- Clean shutdown: one frame per node, children exit 0. --------
+    for node in 0..NODES {
+        client.shutdown_node(node).expect("shutdown frame");
+    }
+    for (id, mut child) in children.drain(..).enumerate() {
+        let status = child.wait().expect("child exits");
+        assert!(status.success(), "node {id} exited with {status}");
+    }
+    println!("all {NODES} node processes shut down cleanly");
 }
