@@ -1,0 +1,276 @@
+//! The price of crash safety: WAL overhead on the ingest path per
+//! fsync policy, and recovery time as a function of log length.
+//!
+//! Two reports land in `BENCH_durability.json` at the workspace root:
+//!
+//! * **ingest** — the same keyed workload driven into a plain store
+//!   and into durable stores under each [`FsyncPolicy`]: `Os` (append
+//!   only, the OS flushes), `EveryN(64)` (group fsync), `Always`
+//!   (fsync per record — the synchronous-commit worst case). Reported
+//!   as ops/s and the slowdown factor against the plain store.
+//! * **recovery** — `StoreBuilder::build` wall time against a durable
+//!   directory holding logs of increasing length, with and without a
+//!   checkpoint covering the prefix — the measurement behind "periodic
+//!   checkpoints bound replay time".
+//!
+//! Passing `--test` (i.e. `cargo bench --bench durability -- --test`)
+//! or setting `DURABILITY_SMOKE=1` runs a tiny corpus instead — every
+//! code path exercised in seconds, JSON untouched.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use setsketch::{SetSketch2, SetSketchConfig};
+use sketch_rand::mix64;
+use sketch_store::{FsyncPolicy, SketchStore, StoreBuilder};
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Instant;
+
+/// True when the bench should run the tiny smoke corpus.
+fn smoke_mode() -> bool {
+    std::env::args().any(|a| a == "--test") || std::env::var_os("DURABILITY_SMOKE").is_some()
+}
+
+fn config() -> SetSketchConfig {
+    SetSketchConfig::example_16bit()
+}
+
+fn builder() -> StoreBuilder<SetSketch2> {
+    let config = config();
+    SketchStore::builder(move || SetSketch2::new(config, 7)).shards(8)
+}
+
+const KEYS: u64 = 64;
+const BATCH: u64 = 32;
+
+/// One ingest op: a 32-element batch under one of 64 keys.
+fn drive(store: &SketchStore<SetSketch2>, ops: u64) {
+    for op in 0..ops {
+        let key = format!("key-{:03}", op % KEYS);
+        let elements: Vec<u64> = (0..BATCH)
+            .map(|i| mix64(op * BATCH + i) % 500_000)
+            .collect();
+        store.ingest(&key, &elements);
+    }
+}
+
+/// Scratch durable directory, removed on drop.
+struct Scratch(PathBuf);
+
+impl Scratch {
+    fn new() -> Self {
+        static COUNTER: AtomicU64 = AtomicU64::new(0);
+        let dir = std::env::temp_dir().join(format!(
+            "sketch-bench-durability-{}-{}",
+            std::process::id(),
+            COUNTER.fetch_add(1, Ordering::Relaxed)
+        ));
+        std::fs::create_dir_all(&dir).expect("create scratch dir");
+        Scratch(dir)
+    }
+}
+
+impl Drop for Scratch {
+    fn drop(&mut self) {
+        let _ = std::fs::remove_dir_all(&self.0);
+    }
+}
+
+// --- Ingest overhead per fsync policy. -------------------------------
+
+struct IngestReport {
+    label: &'static str,
+    ops_per_sec: f64,
+    /// Slowdown vs the non-durable store (1.0 = free).
+    overhead: f64,
+}
+
+fn timed_ingest(store: &SketchStore<SetSketch2>, ops: u64) -> f64 {
+    let start = Instant::now();
+    drive(store, ops);
+    ops as f64 / start.elapsed().as_secs_f64()
+}
+
+fn run_ingest_comparison(ops: u64, always_ops: u64) -> Vec<IngestReport> {
+    let plain = timed_ingest(&builder().build(), ops);
+    let mut reports = vec![IngestReport {
+        label: "none",
+        ops_per_sec: plain,
+        overhead: 1.0,
+    }];
+    let policies: [(&'static str, FsyncPolicy, u64); 3] = [
+        ("os", FsyncPolicy::Os, ops),
+        ("every_64", FsyncPolicy::EveryN(64), ops),
+        // Synchronous commit pays a device flush per op: measure fewer
+        // ops so the comparison finishes in bounded time.
+        ("always", FsyncPolicy::Always, always_ops),
+    ];
+    for (label, policy, policy_ops) in policies {
+        let scratch = Scratch::new();
+        let store = builder()
+            .durable_dir(&scratch.0)
+            .fsync_policy(policy)
+            .build();
+        let ops_per_sec = timed_ingest(&store, policy_ops);
+        reports.push(IngestReport {
+            label,
+            ops_per_sec,
+            overhead: plain / ops_per_sec,
+        });
+    }
+    reports
+}
+
+// --- Recovery time vs log length. ------------------------------------
+
+struct RecoveryReport {
+    records: u64,
+    checkpointed: bool,
+    recover_ms: f64,
+    records_replayed: u64,
+}
+
+/// Writes a `records`-op log (optionally checkpointing it away first),
+/// then times a cold `build()` against the directory.
+fn run_recovery(records: u64, checkpointed: bool) -> RecoveryReport {
+    let scratch = Scratch::new();
+    let durable = |dir: &Path| builder().durable_dir(dir).fsync_policy(FsyncPolicy::Os);
+    {
+        let store = durable(&scratch.0).build();
+        drive(&store, records);
+        if checkpointed {
+            store.checkpoint().expect("checkpoint");
+        }
+    }
+    let start = Instant::now();
+    let store = durable(&scratch.0).build();
+    let recover_ms = start.elapsed().as_secs_f64() * 1e3;
+    let report = store.recovery_report().expect("durable store has a report");
+    assert!(report.is_clean(), "bench log must recover cleanly");
+    assert_eq!(store.tier_stats().total_keys(), KEYS.min(records) as usize);
+    RecoveryReport {
+        records,
+        checkpointed,
+        recover_ms,
+        records_replayed: report.records_replayed as u64,
+    }
+}
+
+fn run_recovery_sweep(lengths: &[u64]) -> Vec<RecoveryReport> {
+    let mut reports = Vec::new();
+    for &records in lengths {
+        reports.push(run_recovery(records, false));
+    }
+    // One checkpointed run at the longest length: replay drops to the
+    // post-checkpoint tail (zero records here).
+    reports.push(run_recovery(lengths[lengths.len() - 1], true));
+    reports
+}
+
+// --- Reporting. ------------------------------------------------------
+
+fn print_reports(ingest: &[IngestReport], recovery: &[RecoveryReport]) {
+    for report in ingest {
+        println!(
+            "{:<44} {:>12.0} ops/s   {:>6.2}x overhead vs none",
+            format!("durability/ingest/{}", report.label),
+            report.ops_per_sec,
+            report.overhead,
+        );
+    }
+    for report in recovery {
+        println!(
+            "{:<44} {:>10.1} ms   ({} records replayed)",
+            format!(
+                "durability/recover/{}records{}",
+                report.records,
+                if report.checkpointed {
+                    "/checkpointed"
+                } else {
+                    ""
+                }
+            ),
+            report.recover_ms,
+            report.records_replayed,
+        );
+    }
+}
+
+fn write_json(ingest: &[IngestReport], recovery: &[RecoveryReport], ops: u64) {
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_durability.json");
+    let ingest_json: Vec<String> = ingest
+        .iter()
+        .map(|r| {
+            format!(
+                "    \"{}\": {{\"ops_per_sec\": {:.0}, \"overhead_vs_none\": {:.2}}}",
+                r.label, r.ops_per_sec, r.overhead
+            )
+        })
+        .collect();
+    let recovery_json: Vec<String> = recovery
+        .iter()
+        .map(|r| {
+            format!(
+                "    {{\"records\": {}, \"checkpointed\": {}, \"recover_ms\": {:.1}, \
+                 \"records_replayed\": {}}}",
+                r.records, r.checkpointed, r.recover_ms, r.records_replayed
+            )
+        })
+        .collect();
+    let json = format!(
+        "{{\n  \"note\": \"cost of crash-safe durability (SetSketch m=256 16-bit, {KEYS} keys, \
+         {BATCH}-element ingest batches, 8 shards): ingest compares one plain store against \
+         durable stores under each fsync policy on the same {ops}-op workload (policy \
+         always runs fewer ops — one device flush per record); recovery times a cold \
+         StoreBuilder::build against logs of increasing length, plus one checkpointed log \
+         of the longest length showing replay bounded by the post-checkpoint tail\",\n  \
+         \"config\": {{\"m\": 256, \"keys\": {KEYS}, \"batch\": {BATCH}, \"shards\": 8, \
+         \"seed\": 7, \"ops\": {ops}}},\n  \"ingest\": {{\n{ingest}\n  }},\n  \
+         \"recovery\": [\n{recovery}\n  ]\n}}\n",
+        ingest = ingest_json.join(",\n"),
+        recovery = recovery_json.join(",\n"),
+    );
+    if let Err(error) = std::fs::write(path, json) {
+        eprintln!("warning: could not write {path}: {error}");
+    } else {
+        println!("recorded durability measurements into {path}");
+    }
+}
+
+/// Criterion micro-benchmark of the steady-state logged-ingest path
+/// (Os policy — the default) against the unlogged one.
+fn bench_logged_ingest(c: &mut Criterion) {
+    let elements: Vec<u64> = (0..BATCH).map(|i| mix64(i) % 500_000).collect();
+    let plain = builder().build();
+    let scratch = Scratch::new();
+    let durable = builder()
+        .durable_dir(&scratch.0)
+        .fsync_policy(FsyncPolicy::Os)
+        .build();
+    let mut group = c.benchmark_group("durability");
+    group.bench_function("ingest_plain", |bencher| {
+        bencher.iter(|| plain.ingest(black_box("key-000"), black_box(&elements)))
+    });
+    group.bench_function("ingest_wal_os", |bencher| {
+        bencher.iter(|| durable.ingest(black_box("key-000"), black_box(&elements)))
+    });
+    group.finish();
+}
+
+fn bench_durability_report(_c: &mut Criterion) {
+    let smoke = smoke_mode();
+    let (ops, always_ops) = if smoke { (200, 20) } else { (4_000, 400) };
+    let lengths: &[u64] = if smoke {
+        &[100, 400]
+    } else {
+        &[500, 2_000, 8_000]
+    };
+    let ingest = run_ingest_comparison(ops, always_ops);
+    let recovery = run_recovery_sweep(lengths);
+    print_reports(&ingest, &recovery);
+    if !smoke {
+        write_json(&ingest, &recovery, ops);
+    }
+}
+
+criterion_group!(benches, bench_logged_ingest, bench_durability_report);
+criterion_main!(benches);

@@ -15,6 +15,23 @@ use crate::transport::Transport;
 use crate::wire::{Message, NodeId, WireNeighbor};
 use sketch_core::{CardinalityEstimator, CompactSketch, Mergeable};
 
+/// A fan-out query's answer plus its coverage: which nodes could not
+/// be reached (suspect, partitioned, timed out) and had to be skipped.
+///
+/// A degraded answer is still *correct over the replicas that
+/// answered* — replication means skipped nodes usually hold nothing
+/// unique — but a caller that needs full coverage can branch on
+/// [`degraded`](Self::degraded) and retry later.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FanOut<V> {
+    /// The merged answer from every node that responded.
+    pub value: V,
+    /// True when at least one node was skipped.
+    pub degraded: bool,
+    /// The nodes that could not be reached, ascending.
+    pub skipped: Vec<NodeId>,
+}
+
 /// A routing client over any [`Transport`].
 ///
 /// `prototype` is an empty sketch from the cluster's shared factory;
@@ -44,6 +61,13 @@ where
     /// The ring used for routing.
     pub fn ring(&self) -> &HashRing {
         &self.ring
+    }
+
+    /// The transport the client routes through — handy for inspecting
+    /// wrapper state ([`Resilient`](crate::Resilient) suspicion, fault
+    /// injection in tests).
+    pub fn transport(&self) -> &T {
+        &self.transport
     }
 
     /// The node `key`'s writes are routed to.
@@ -98,6 +122,19 @@ where
         k: usize,
         threshold: f64,
     ) -> Result<Vec<WireNeighbor>, ClusterError> {
+        self.similar_keys_detailed(key, k, threshold)
+            .map(|fan_out| fan_out.value)
+    }
+
+    /// [`similar_keys`](Self::similar_keys) with coverage reporting:
+    /// the result is marked [`degraded`](FanOut::degraded) when any
+    /// node was unreachable and had to be skipped.
+    pub fn similar_keys_detailed(
+        &self,
+        key: &str,
+        k: usize,
+        threshold: f64,
+    ) -> Result<FanOut<Vec<WireNeighbor>>, ClusterError> {
         let request = Message::SimilarKeys {
             key: key.to_owned(),
             k: k as u32,
@@ -105,6 +142,7 @@ where
         };
         let mut best: Vec<WireNeighbor> = Vec::new();
         let mut answered = false;
+        let mut skipped = Vec::new();
         let mut last_error = None;
         for &node in self.ring.nodes() {
             match self.transport.request(node, &request) {
@@ -129,7 +167,12 @@ where
                         "expected Neighbors, got {other:?}"
                     )));
                 }
-                Err(error) => last_error = Some(error),
+                Err(error) => {
+                    if error.is_transient() {
+                        skipped.push(node);
+                    }
+                    last_error = Some(error);
+                }
             }
         }
         if !answered {
@@ -144,7 +187,12 @@ where
                 .then_with(|| a.key.cmp(&b.key))
         });
         best.truncate(k);
-        Ok(best)
+        skipped.sort_unstable();
+        Ok(FanOut {
+            value: best,
+            degraded: !skipped.is_empty(),
+            skipped,
+        })
     }
 
     /// Estimated cardinality of the union of `keys`, cluster-wide:
@@ -153,10 +201,19 @@ where
     /// merging is idempotent, replicas holding overlapping key subsets
     /// cannot inflate the estimate.
     pub fn union_cardinality(&self, keys: &[&str]) -> Result<f64, ClusterError> {
+        self.union_cardinality_detailed(keys)
+            .map(|fan_out| fan_out.value)
+    }
+
+    /// [`union_cardinality`](Self::union_cardinality) with coverage
+    /// reporting: the result is marked [`degraded`](FanOut::degraded)
+    /// when any node was unreachable and had to be skipped.
+    pub fn union_cardinality_detailed(&self, keys: &[&str]) -> Result<FanOut<f64>, ClusterError> {
         let request = Message::UnionSketch {
             keys: keys.iter().map(|&key| key.to_owned()).collect(),
         };
         let mut merged: Option<S> = None;
+        let mut skipped = Vec::new();
         let mut last_error = None;
         for &node in self.ring.nodes() {
             match self.transport.request(node, &request) {
@@ -182,11 +239,23 @@ where
                         "expected Payload, got {other:?}"
                     )));
                 }
-                Err(error) => last_error = Some(error),
+                Err(error) => {
+                    if error.is_transient() {
+                        skipped.push(node);
+                    }
+                    last_error = Some(error);
+                }
             }
         }
         match merged {
-            Some(sketch) => Ok(sketch.cardinality()),
+            Some(sketch) => {
+                skipped.sort_unstable();
+                Ok(FanOut {
+                    value: sketch.cardinality(),
+                    degraded: !skipped.is_empty(),
+                    skipped,
+                })
+            }
             None => Err(last_error.unwrap_or_else(|| ClusterError::KeyNotFound(keys.join(", ")))),
         }
     }

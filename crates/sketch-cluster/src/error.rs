@@ -14,6 +14,10 @@ pub enum ClusterError {
     Transport(String),
     /// The target node is not known to the transport.
     UnknownPeer(NodeId),
+    /// The peer is currently suspected down by failure tracking (see
+    /// `Resilient`): the exchange was refused locally, without
+    /// touching the network, until a half-open probe clears it.
+    Suspect(NodeId),
     /// The remote node answered with an error.
     Remote {
         /// Machine-readable failure class.
@@ -55,7 +59,7 @@ impl ClusterError {
     pub fn is_transient(&self) -> bool {
         matches!(
             self,
-            ClusterError::Transport(_) | ClusterError::UnknownPeer(_)
+            ClusterError::Transport(_) | ClusterError::UnknownPeer(_) | ClusterError::Suspect(_)
         )
     }
 }
@@ -66,6 +70,9 @@ impl std::fmt::Display for ClusterError {
             ClusterError::Wire(error) => write!(f, "wire protocol error: {error}"),
             ClusterError::Transport(detail) => write!(f, "transport failed: {detail}"),
             ClusterError::UnknownPeer(peer) => write!(f, "no route to node {peer}"),
+            ClusterError::Suspect(peer) => {
+                write!(f, "node {peer} suspected down; exchange skipped")
+            }
             ClusterError::Remote { code, detail } => {
                 write!(f, "remote node refused ({code:?}): {detail}")
             }

@@ -24,12 +24,18 @@
 //!   cluster exchanges near-empty frames. A rotating full pull
 //!   (anti-entropy) heals whatever individual exchanges lose.
 //! * [`Transport`] — the seam that makes all of this testable: the
-//!   same node code runs over [`TcpTransport`] sockets, the
+//!   same node code runs over [`TcpTransport`] sockets (every socket
+//!   under connect/read/write deadlines — [`TcpTimeouts`]), the
 //!   deterministic in-process [`MemNetwork`], or a seeded
 //!   [`FaultyTransport`] that drops, replays and partitions.
+//! * [`Resilient`] — a transport wrapper adding bounded retries with
+//!   jittered backoff and per-peer suspicion with half-open probes, so
+//!   gossip skips a dead peer ([`ClusterError::Suspect`]) instead of
+//!   re-spending its deadline budget on it every tick.
 //! * [`ClusterClient`] — routes writes by the ring and fans reads out
 //!   across replicas (top-k similarity and union cardinality merge
-//!   answers from every node).
+//!   answers from every node); the `*_detailed` variants report
+//!   [`FanOut::degraded`] when unreachable nodes were skipped.
 //!
 //! ```
 //! use sketch_cluster::{ClusterClient, ClusterNode, HashRing, MemNetwork};
@@ -73,17 +79,19 @@
 mod client;
 mod error;
 mod fault;
+mod health;
 mod node;
 mod ring;
 mod tcp;
 mod transport;
 pub mod wire;
 
-pub use client::ClusterClient;
+pub use client::{ClusterClient, FanOut};
 pub use error::ClusterError;
 pub use fault::{FaultPlan, FaultyTransport};
+pub use health::{HealthPolicy, Resilient, RetryPolicy};
 pub use node::{ClusterNode, ClusterSketch, SyncReport, DEFAULT_FULL_SYNC_EVERY};
 pub use ring::{HashRing, DEFAULT_VNODES};
-pub use tcp::{TcpServer, TcpTransport};
+pub use tcp::{TcpServer, TcpTimeouts, TcpTransport};
 pub use transport::{MemNetwork, TrafficStats, Transport};
 pub use wire::{ErrorCode, FrameError, Message, NodeId, WireEntry, WireError, WireNeighbor};

@@ -8,6 +8,14 @@
 //! frame, and hangs up. That keeps the server loop trivial (a thread
 //! per live connection) and makes crash/restart behavior obvious; at
 //! sketch scale the handshake cost is dwarfed by register payloads.
+//!
+//! Every socket the transport opens carries **deadlines**
+//! ([`TcpTimeouts`]): connect, read and write each time out instead of
+//! blocking forever, so one unresponsive peer (a SIGSTOPped process, a
+//! blackholed route, a listener that accepts and then stalls) can
+//! delay a caller by at most the configured deadline — it cannot wedge
+//! the gossip loop. Layer [`Resilient`](crate::Resilient) on top for
+//! retries and suspicion tracking.
 
 use crate::error::ClusterError;
 use crate::node::{ClusterNode, ClusterSketch};
@@ -22,20 +30,74 @@ use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::Duration;
 
+/// Per-socket deadlines for every exchange a [`TcpTransport`] makes.
+///
+/// Each phase of the exchange — dialing, writing the request frame,
+/// reading the response frame — is bounded independently, so the worst
+/// case against a fully unresponsive peer is the sum of the three, not
+/// forever.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TcpTimeouts {
+    /// Deadline for establishing the connection.
+    pub connect: Duration,
+    /// Deadline for each blocking read on the socket.
+    pub read: Duration,
+    /// Deadline for each blocking write on the socket.
+    pub write: Duration,
+}
+
+impl Default for TcpTimeouts {
+    /// Five seconds per phase — generous against loaded peers, still
+    /// bounded against dead ones.
+    fn default() -> Self {
+        TcpTimeouts {
+            connect: Duration::from_secs(5),
+            read: Duration::from_secs(5),
+            write: Duration::from_secs(5),
+        }
+    }
+}
+
+impl TcpTimeouts {
+    /// The same deadline for connect, read and write.
+    pub fn uniform(deadline: Duration) -> Self {
+        TcpTimeouts {
+            connect: deadline,
+            read: deadline,
+            write: deadline,
+        }
+    }
+}
+
 /// A [`Transport`] that reaches peers over TCP, one connection per
-/// exchange.
+/// exchange, every socket under [`TcpTimeouts`] deadlines.
 #[derive(Default)]
 pub struct TcpTransport {
     peers: RwLock<HashMap<NodeId, SocketAddr>>,
+    timeouts: TcpTimeouts,
 }
 
 impl TcpTransport {
-    /// An empty address book.
+    /// An empty address book with default deadlines.
     pub fn new() -> Self {
         Self::default()
     }
 
-    /// Adds (or replaces) the address of `peer`.
+    /// An empty address book with the given deadlines.
+    pub fn with_timeouts(timeouts: TcpTimeouts) -> Self {
+        TcpTransport {
+            peers: RwLock::new(HashMap::new()),
+            timeouts,
+        }
+    }
+
+    /// The deadlines applied to every socket.
+    pub fn timeouts(&self) -> TcpTimeouts {
+        self.timeouts
+    }
+
+    /// Adds (or replaces) the address of `peer` — replacement is how a
+    /// restarted node re-advertises itself under a new port.
     pub fn add_peer(&self, peer: NodeId, addr: SocketAddr) {
         self.peers.write().insert(peer, addr);
     }
@@ -54,7 +116,9 @@ impl Transport for TcpTransport {
             .get(&peer)
             .copied()
             .ok_or(ClusterError::UnknownPeer(peer))?;
-        let mut stream = TcpStream::connect(addr)?;
+        let mut stream = TcpStream::connect_timeout(&addr, self.timeouts.connect)?;
+        stream.set_read_timeout(Some(self.timeouts.read))?;
+        stream.set_write_timeout(Some(self.timeouts.write))?;
         stream.set_nodelay(true).ok();
         write_frame(&mut stream, message)?;
         Ok(read_frame(&mut stream)?)
@@ -98,13 +162,15 @@ impl TcpServer {
     }
 
     /// Starts the gossip thread: every `interval`, one
-    /// [`gossip_tick`](ClusterNode::gossip_tick) over `transport`.
-    /// Transient per-peer failures are expected and ignored — the next
-    /// tick retries.
-    pub fn start_gossip<S: ClusterSketch>(
+    /// [`gossip_tick`](ClusterNode::gossip_tick) over `transport` —
+    /// any [`Transport`], so a [`TcpTransport`] can be wrapped in
+    /// [`Resilient`](crate::Resilient) for retries and suspicion
+    /// tracking. Transient per-peer failures are expected and ignored
+    /// — the next tick retries.
+    pub fn start_gossip<S: ClusterSketch, T: Transport + Send + Sync + 'static>(
         &mut self,
         node: Arc<ClusterNode<S>>,
-        transport: Arc<TcpTransport>,
+        transport: Arc<T>,
         interval: Duration,
     ) {
         let stop = Arc::clone(&self.stop);
@@ -208,10 +274,18 @@ fn serve_connection<S: ClusterSketch>(
             // Clean EOF or connection reset: the client is done.
             Err(FrameError::Io(_)) => return,
             // Malformed frame: report it and hang up — framing is
-            // unrecoverable once the byte stream is off the rails.
+            // unrecoverable once the byte stream is off the rails. A
+            // handshake mismatch (wrong magic, other protocol version)
+            // gets the dedicated Unsupported code so old clients see a
+            // typed refusal rather than a generic parse failure.
             Err(FrameError::Wire(error)) => {
+                let code = if error.is_handshake_mismatch() {
+                    crate::wire::ErrorCode::Unsupported
+                } else {
+                    crate::wire::ErrorCode::BadRequest
+                };
                 let reply = Message::Error {
-                    code: crate::wire::ErrorCode::BadRequest,
+                    code,
                     detail: error.to_string(),
                 };
                 let _ = write_frame(&mut stream, &reply);

@@ -1,9 +1,18 @@
 //! The cluster's length-prefixed binary wire protocol.
 //!
-//! Every frame on a connection is `[u32 LE payload length][payload]`;
-//! the payload is one [`Message`], encoded as a one-byte tag followed
-//! by its fields in little-endian order. Variable-length fields
-//! (strings, byte buffers, lists) carry a `u32` length/count prefix.
+//! Every frame on a connection is `[2-byte magic "SK"][u8 protocol
+//! version][u32 LE payload length][payload]`; the payload is one
+//! [`Message`], encoded as a one-byte tag followed by its fields in
+//! little-endian order. Variable-length fields (strings, byte buffers,
+//! lists) carry a `u32` length/count prefix.
+//!
+//! The magic + version prologue is the protocol handshake: a reader
+//! can tell "not my protocol" ([`WireError::BadMagic`]) from "my
+//! protocol, a revision I don't speak"
+//! ([`WireError::UnsupportedVersion`]) from the first three bytes,
+//! before trusting any length field. Servers answer either with an
+//! [`ErrorCode::Unsupported`] frame so old clients get a typed refusal
+//! instead of a hang.
 //!
 //! The decoder is written for hostile input: every declared length is
 //! validated against the bytes actually present **before** any
@@ -28,12 +37,34 @@ pub type NodeId = u32;
 /// is rejected before the body is read or any buffer is allocated.
 pub const MAX_FRAME_BYTES: usize = 64 << 20;
 
+/// The two magic bytes opening every frame — `"SK"`. A connection that
+/// does not start with them is not speaking this protocol at all.
+pub const PROTOCOL_MAGIC: [u8; 2] = *b"SK";
+
+/// The protocol revision this build speaks. Bumped on any change to
+/// frame layout or message encodings; a reader refuses other versions
+/// with [`WireError::UnsupportedVersion`] rather than misparsing.
+pub const PROTOCOL_VERSION: u8 = 1;
+
 /// Typed decoding failures. Decoding never panics and never allocates
 /// more than the input's own length.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum WireError {
     /// The buffer ended before a declared field did.
     Truncated,
+    /// The frame does not open with [`PROTOCOL_MAGIC`] — the peer is
+    /// not speaking this protocol (or is a pre-handshake build whose
+    /// first frame bytes are a length field).
+    BadMagic {
+        /// The two bytes found where the magic should be.
+        found: [u8; 2],
+    },
+    /// The frame's version byte names a protocol revision this build
+    /// does not speak.
+    UnsupportedVersion {
+        /// The version byte found on the wire.
+        found: u8,
+    },
     /// A frame header declared a payload larger than
     /// [`MAX_FRAME_BYTES`].
     OversizedFrame {
@@ -59,6 +90,18 @@ impl std::fmt::Display for WireError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
             WireError::Truncated => write!(f, "frame truncated mid-field"),
+            WireError::BadMagic { found } => {
+                write!(
+                    f,
+                    "frame magic {found:02x?} is not {PROTOCOL_MAGIC:02x?} — not this protocol"
+                )
+            }
+            WireError::UnsupportedVersion { found } => {
+                write!(
+                    f,
+                    "protocol version {found} not supported (this build speaks {PROTOCOL_VERSION})"
+                )
+            }
             WireError::OversizedFrame { declared } => {
                 write!(
                     f,
@@ -79,6 +122,18 @@ impl std::fmt::Display for WireError {
 }
 
 impl std::error::Error for WireError {}
+
+impl WireError {
+    /// True when the failure is a protocol-handshake mismatch (wrong
+    /// magic or an unsupported version) rather than a malformed body —
+    /// servers answer these with [`ErrorCode::Unsupported`].
+    pub fn is_handshake_mismatch(&self) -> bool {
+        matches!(
+            self,
+            WireError::BadMagic { .. } | WireError::UnsupportedVersion { .. }
+        )
+    }
+}
 
 /// Why a remote node refused a request ([`Message::Error`]).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -409,11 +464,13 @@ impl Message {
         Ok(message)
     }
 
-    /// Encodes the message as a complete frame: `u32` LE payload
-    /// length, then the payload.
+    /// Encodes the message as a complete frame: magic, version byte,
+    /// `u32` LE payload length, then the payload.
     pub fn encode_frame(&self) -> Vec<u8> {
         let payload = self.encode();
-        let mut frame = Vec::with_capacity(4 + payload.len());
+        let mut frame = Vec::with_capacity(FRAME_HEADER_BYTES + payload.len());
+        frame.extend_from_slice(&PROTOCOL_MAGIC);
+        frame.push(PROTOCOL_VERSION);
         frame.extend_from_slice(&(payload.len() as u32).to_le_bytes());
         frame.extend_from_slice(&payload);
         frame
@@ -423,6 +480,9 @@ impl Message {
 /// Smallest possible encoded [`WireEntry`]: empty key (4), version
 /// (8), empty payload (4).
 const MIN_ENTRY_BYTES: usize = 16;
+
+/// Bytes before the payload: magic (2) + version (1) + length (4).
+const FRAME_HEADER_BYTES: usize = 7;
 
 /// Writes one framed message.
 pub fn write_frame(writer: &mut impl Write, message: &Message) -> io::Result<()> {
@@ -470,13 +530,23 @@ impl From<WireError> for FrameError {
     }
 }
 
-/// Reads one framed message. The declared payload length is validated
-/// against [`MAX_FRAME_BYTES`] **before** the body buffer is
-/// allocated.
+/// Reads one framed message. The magic and version are validated
+/// before the length field is trusted, and the declared payload length
+/// is validated against [`MAX_FRAME_BYTES`] **before** the body buffer
+/// is allocated.
 pub fn read_frame(reader: &mut impl Read) -> Result<Message, FrameError> {
-    let mut header = [0u8; 4];
+    let mut header = [0u8; FRAME_HEADER_BYTES];
     reader.read_exact(&mut header)?;
-    let declared = u32::from_le_bytes(header) as usize;
+    if header[..2] != PROTOCOL_MAGIC {
+        return Err(WireError::BadMagic {
+            found: [header[0], header[1]],
+        }
+        .into());
+    }
+    if header[2] != PROTOCOL_VERSION {
+        return Err(WireError::UnsupportedVersion { found: header[2] }.into());
+    }
+    let declared = u32::from_le_bytes(header[3..7].try_into().expect("4")) as usize;
     if declared > MAX_FRAME_BYTES {
         return Err(WireError::OversizedFrame {
             declared: declared as u64,
@@ -612,6 +682,8 @@ mod tests {
     #[test]
     fn oversized_header_rejected_before_allocation() {
         let mut frame = Vec::new();
+        frame.extend_from_slice(&PROTOCOL_MAGIC);
+        frame.push(PROTOCOL_VERSION);
         frame.extend_from_slice(&u32::MAX.to_le_bytes());
         frame.extend_from_slice(&[0u8; 8]);
         let mut reader = frame.as_slice();
@@ -620,6 +692,36 @@ mod tests {
                 assert_eq!(declared, u32::MAX as u64);
             }
             other => panic!("expected oversized-frame error, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn wrong_magic_rejected_before_the_length_is_trusted() {
+        // A pre-handshake frame: bare [len][payload]. The length bytes
+        // land where the magic belongs and must be refused as such.
+        let payload = Message::Ack.encode();
+        let mut frame = Vec::new();
+        frame.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+        frame.extend_from_slice(&payload);
+        frame.extend_from_slice(&[0u8; 8]); // enough bytes for the header read
+        match read_frame(&mut frame.as_slice()) {
+            Err(FrameError::Wire(error @ WireError::BadMagic { .. })) => {
+                assert!(error.is_handshake_mismatch());
+            }
+            other => panic!("expected bad-magic error, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn future_version_rejected_as_unsupported() {
+        let mut frame = Message::Ack.encode_frame();
+        frame[2] = PROTOCOL_VERSION + 1;
+        match read_frame(&mut frame.as_slice()) {
+            Err(FrameError::Wire(error @ WireError::UnsupportedVersion { found })) => {
+                assert_eq!(found, PROTOCOL_VERSION + 1);
+                assert!(error.is_handshake_mismatch());
+            }
+            other => panic!("expected unsupported-version error, got {other:?}"),
         }
     }
 

@@ -1,0 +1,309 @@
+//! The whole-system durability story: a live TCP node is SIGKILLed
+//! mid-ingest, restarted from its write-ahead log, and the three-node
+//! cluster reconverges bit-for-bit.
+//!
+//! The victim runs as a real OS process (this test binary re-executes
+//! itself — see [`crash_child_serve`]) so the kill is a genuine
+//! `SIGKILL`: no destructors, no flushes, nothing but what the WAL's
+//! fsync discipline already put on disk. The parent keeps ingesting
+//! through the kill, so some requests die on the wire; every op the
+//! victim *acknowledged* must survive (it runs
+//! [`FsyncPolicy::Always`]), and every op that errored is re-sent
+//! after restart — at-least-once delivery, which idempotent sketch
+//! merging absorbs.
+
+use setsketch::{SetSketch2, SetSketchConfig};
+use sketch_cluster::{ClusterNode, Message, NodeId, TcpServer, TcpTransport, Transport};
+use sketch_core::CompactSketch;
+use sketch_rand::mix64;
+use sketch_store::{FsyncPolicy, SketchStore};
+use std::collections::BTreeMap;
+use std::io::{BufRead, BufReader, Write};
+use std::path::{Path, PathBuf};
+use std::process::{Child, ChildStdout, Command, Stdio};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+const IDS: [NodeId; 3] = [0, 1, 2];
+const VICTIM: NodeId = 2;
+const OPS: u64 = 240;
+const KILL_AT: u64 = 120;
+const KEYS: u64 = 8;
+const GOSSIP_EVERY: Duration = Duration::from_millis(50);
+
+fn config() -> SetSketchConfig {
+    SetSketchConfig::example_16bit()
+}
+
+fn plain_store() -> SketchStore<SetSketch2> {
+    let config = config();
+    SketchStore::builder(move || SetSketch2::new(config, 42))
+        .shards(4)
+        .build()
+}
+
+fn durable_store(dir: &Path) -> SketchStore<SetSketch2> {
+    let config = config();
+    SketchStore::builder(move || SetSketch2::new(config, 42))
+        .shards(4)
+        .durable_dir(dir)
+        .fsync_policy(FsyncPolicy::Always)
+        .build()
+}
+
+fn op_key(op: u64) -> String {
+    format!("key-{}", op % KEYS)
+}
+
+fn op_elements(op: u64) -> Vec<u64> {
+    (0..32).map(|i| mix64(op * 64 + i) % 100_000).collect()
+}
+
+/// Scratch durable directory, removed when the test ends.
+struct Scratch(PathBuf);
+
+impl Scratch {
+    fn new() -> Self {
+        static COUNTER: AtomicU64 = AtomicU64::new(0);
+        let dir = std::env::temp_dir().join(format!(
+            "sketch-crash-recovery-{}-{}",
+            std::process::id(),
+            COUNTER.fetch_add(1, Ordering::Relaxed)
+        ));
+        std::fs::create_dir_all(&dir).expect("create scratch dir");
+        Scratch(dir)
+    }
+}
+
+impl Drop for Scratch {
+    fn drop(&mut self) {
+        let _ = std::fs::remove_dir_all(&self.0);
+    }
+}
+
+// --- Child half: one durable TCP replica, run via self-exec. ---------
+
+/// When `CRASH_CHILD_DIR` is set, this "test" is actually the victim
+/// node's serving process: recover the durable store from that
+/// directory, serve on an ephemeral port, print `PORT <n>` and
+/// `RECOVERED <records>` lines, learn peers from one `PEERS` stdin
+/// line, gossip until a Shutdown frame (or a SIGKILL) arrives. With
+/// the variable unset — the normal test run — it does nothing.
+#[test]
+fn crash_child_serve() {
+    let Ok(dir) = std::env::var("CRASH_CHILD_DIR") else {
+        return;
+    };
+    let store = durable_store(Path::new(&dir));
+    let report = store.recovery_report().expect("durable store has a report");
+    let recovered = report.checkpoint_entries + report.records_replayed;
+    let node = Arc::new(ClusterNode::new(VICTIM, IDS, store));
+    let mut server = TcpServer::serve(Arc::clone(&node), "127.0.0.1:0").expect("bind loopback");
+
+    println!("PORT {}", server.local_addr().port());
+    println!("RECOVERED {recovered}");
+    std::io::stdout().flush().expect("flush handshake");
+
+    let mut line = String::new();
+    std::io::stdin()
+        .read_line(&mut line)
+        .expect("read peer map");
+    let transport = Arc::new(TcpTransport::new());
+    for pair in line
+        .trim()
+        .strip_prefix("PEERS ")
+        .expect("PEERS line")
+        .split(' ')
+    {
+        let (peer, port) = pair.split_once(':').expect("id:port");
+        transport.add_peer(
+            peer.parse().expect("peer id"),
+            format!("127.0.0.1:{port}").parse().expect("addr"),
+        );
+    }
+    server.start_gossip(Arc::clone(&node), transport, GOSSIP_EVERY);
+    server.wait();
+}
+
+/// Spawns the victim process against `dir` and parses its handshake:
+/// (child, port, records recovered at startup).
+fn spawn_victim(dir: &Path) -> (Child, u16, u64) {
+    let exe = std::env::current_exe().expect("own path");
+    let mut child = Command::new(&exe)
+        .args(["crash_child_serve", "--exact", "--nocapture"])
+        .env("CRASH_CHILD_DIR", dir)
+        .stdin(Stdio::piped())
+        .stdout(Stdio::piped())
+        .spawn()
+        .expect("spawn victim process");
+    let stdout = child.stdout.as_mut().expect("victim stdout");
+    let mut reader = BufReader::new(stdout);
+    let port = handshake_value(&mut reader, "PORT ").parse().expect("port");
+    let recovered = handshake_value(&mut reader, "RECOVERED ")
+        .parse()
+        .expect("recovered count");
+    (child, port, recovered)
+}
+
+/// Reads lines until one carries `marker`, returning what follows it.
+/// The marker may land mid-line: the child's libtest harness prints
+/// `test crash_child_serve ... ` without a newline before the test
+/// body's own output starts.
+fn handshake_value(reader: &mut BufReader<&mut ChildStdout>, marker: &str) -> String {
+    loop {
+        let mut line = String::new();
+        assert!(
+            reader.read_line(&mut line).expect("victim stdout line") > 0,
+            "victim exited before printing {marker:?}"
+        );
+        if let Some(at) = line.find(marker) {
+            return line[at + marker.len()..].trim().to_owned();
+        }
+    }
+}
+
+fn send_peer_map(child: &mut Child, ports: &BTreeMap<NodeId, u16>) {
+    let map: Vec<String> = ports
+        .iter()
+        .map(|(id, port)| format!("{id}:{port}"))
+        .collect();
+    child
+        .stdin
+        .as_mut()
+        .expect("victim stdin")
+        .write_all(format!("PEERS {}\n", map.join(" ")).as_bytes())
+        .expect("send peer map");
+}
+
+/// One node's full state as key → compact payload, pulled over TCP.
+fn full_state(transport: &TcpTransport, node: NodeId) -> Option<BTreeMap<String, Vec<u8>>> {
+    match transport.request(node, &Message::DeltaRequest { after: 0 }) {
+        Ok(Message::Delta { entries, .. }) => Some(
+            entries
+                .into_iter()
+                .map(|entry| (entry.key, entry.payload))
+                .collect(),
+        ),
+        _ => None,
+    }
+}
+
+// --- Parent half: the actual scenario. -------------------------------
+
+#[test]
+fn sigkill_mid_ingest_then_restart_reconverges_bit_for_bit() {
+    if std::env::var("CRASH_CHILD_DIR").is_ok() {
+        // This process IS a victim child; only crash_child_serve runs.
+        return;
+    }
+    let scratch = Scratch::new();
+    let transport = Arc::new(TcpTransport::new());
+
+    // Two in-process survivor nodes with live TCP servers + gossip.
+    let survivors: Vec<Arc<ClusterNode<SetSketch2>>> = [0, 1]
+        .iter()
+        .map(|&id| Arc::new(ClusterNode::new(id, IDS, plain_store())))
+        .collect();
+    let mut servers: Vec<TcpServer> = survivors
+        .iter()
+        .map(|node| TcpServer::serve(Arc::clone(node), "127.0.0.1:0").expect("bind survivor"))
+        .collect();
+    let mut ports: BTreeMap<NodeId, u16> = BTreeMap::new();
+    for (node, server) in survivors.iter().zip(&servers) {
+        ports.insert(node.id(), server.local_addr().port());
+        transport.add_peer(node.id(), server.local_addr());
+    }
+
+    // The victim: a durable child process, killed without warning.
+    let (mut victim, victim_port, recovered) = spawn_victim(&scratch.0);
+    assert_eq!(recovered, 0, "fresh durable dir must recover nothing");
+    ports.insert(VICTIM, victim_port);
+    transport.add_peer(VICTIM, format!("127.0.0.1:{victim_port}").parse().unwrap());
+    send_peer_map(&mut victim, &ports);
+    for (node, server) in survivors.iter().zip(servers.iter_mut()) {
+        server.start_gossip(Arc::clone(node), Arc::clone(&transport), GOSSIP_EVERY);
+    }
+
+    // Ingest straight at the victim; SIGKILL it mid-stream. Every op
+    // it acked is fsynced; every op that failed is remembered.
+    let reference = plain_store();
+    let mut unacked: Vec<u64> = Vec::new();
+    for op in 0..OPS {
+        if op == KILL_AT {
+            victim.kill().expect("SIGKILL victim");
+        }
+        reference.ingest(&op_key(op), &op_elements(op));
+        let request = Message::Ingest {
+            key: op_key(op),
+            elements: op_elements(op),
+        };
+        match transport.request(VICTIM, &request) {
+            Ok(Message::Ack) => {}
+            _ => unacked.push(op),
+        }
+    }
+    victim.wait().expect("reap killed victim");
+    assert!(
+        !unacked.is_empty() && unacked.len() < OPS as usize,
+        "kill landed outside the ingest window ({} unacked)",
+        unacked.len()
+    );
+
+    // Restart from the same durable directory: the WAL replays the
+    // acked ops, the node re-advertises under its new port, and the
+    // parent re-sends everything that was never acknowledged.
+    let (mut victim, victim_port, recovered) = spawn_victim(&scratch.0);
+    assert!(
+        recovered > 0,
+        "restart must replay the pre-crash log (got {recovered} records)"
+    );
+    ports.insert(VICTIM, victim_port);
+    transport.add_peer(VICTIM, format!("127.0.0.1:{victim_port}").parse().unwrap());
+    send_peer_map(&mut victim, &ports);
+    for &op in &unacked {
+        let request = Message::Ingest {
+            key: op_key(op),
+            elements: op_elements(op),
+        };
+        match transport.request(VICTIM, &request) {
+            Ok(Message::Ack) => {}
+            other => panic!("re-sent op {op} refused: {other:?}"),
+        }
+    }
+
+    // Reconvergence: all three nodes byte-identical to the reference.
+    let expected: BTreeMap<String, Vec<u8>> = reference
+        .keys()
+        .into_iter()
+        .map(|key| {
+            let payload = reference.get(&key).expect("reference key").compress();
+            (key, payload)
+        })
+        .collect();
+    let deadline = Instant::now() + Duration::from_secs(60);
+    loop {
+        let converged = IDS
+            .iter()
+            .all(|&node| full_state(&transport, node).as_ref() == Some(&expected));
+        if converged {
+            break;
+        }
+        assert!(
+            Instant::now() < deadline,
+            "cluster failed to reconverge after SIGKILL + restart"
+        );
+        std::thread::sleep(Duration::from_millis(50));
+    }
+
+    // Clean teardown: Shutdown frame to the victim, join everything.
+    match transport.request(VICTIM, &Message::Shutdown) {
+        Ok(Message::Ack) => {}
+        other => panic!("victim refused shutdown: {other:?}"),
+    }
+    let status = victim.wait().expect("victim exits");
+    assert!(status.success(), "victim exited with {status}");
+    for server in servers {
+        server.shutdown();
+    }
+}

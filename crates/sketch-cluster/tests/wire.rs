@@ -5,7 +5,10 @@
 
 use proptest::collection::vec;
 use proptest::prelude::*;
-use sketch_cluster::wire::{read_frame, Message, NodeId, WireEntry, WireNeighbor, MAX_FRAME_BYTES};
+use sketch_cluster::wire::{
+    read_frame, Message, NodeId, WireEntry, WireNeighbor, MAX_FRAME_BYTES, PROTOCOL_MAGIC,
+    PROTOCOL_VERSION,
+};
 use sketch_cluster::{ErrorCode, FrameError, WireError};
 
 /// Builds a printable key from raw generator bytes, so string fields
@@ -153,6 +156,8 @@ proptest! {
             }
             Err(
                 WireError::Truncated
+                | WireError::BadMagic { .. }
+                | WireError::UnsupportedVersion { .. }
                 | WireError::UnknownTag(_)
                 | WireError::UnknownErrorCode(_)
                 | WireError::BadUtf8
@@ -172,18 +177,59 @@ proptest! {
     }
 
     /// Frame headers declaring more than [`MAX_FRAME_BYTES`] are
-    /// rejected from the 4 header bytes alone — before any buffer for
+    /// rejected from the header bytes alone — before any buffer for
     /// the body is allocated.
     #[test]
     fn oversized_frames_rejected_from_header(excess in 1u32..1_000_000) {
         let declared = MAX_FRAME_BYTES as u32 + excess;
-        let mut frame = declared.to_le_bytes().to_vec();
+        let mut frame = PROTOCOL_MAGIC.to_vec();
+        frame.push(PROTOCOL_VERSION);
+        frame.extend_from_slice(&declared.to_le_bytes());
         frame.extend_from_slice(&[0u8; 8]);
         match read_frame(&mut frame.as_slice()) {
             Err(FrameError::Wire(WireError::OversizedFrame { declared: d })) => {
                 prop_assert_eq!(d, declared as u64);
             }
             other => prop_assert!(false, "expected OversizedFrame, got {:?}", other),
+        }
+    }
+
+    /// Every valid frame opens with the magic and the current protocol
+    /// version, and **any** other version byte is refused as a
+    /// handshake mismatch — for every message shape, before the length
+    /// field is even consulted.
+    #[test]
+    fn handshake_version_is_enforced(message in message_strategy(), wrong in any::<u8>()) {
+        let mut frame = message.encode_frame();
+        prop_assert_eq!(&frame[..2], &PROTOCOL_MAGIC[..]);
+        prop_assert_eq!(frame[2], PROTOCOL_VERSION);
+
+        prop_assume!(wrong != PROTOCOL_VERSION);
+        frame[2] = wrong;
+        match read_frame(&mut frame.as_slice()) {
+            Err(FrameError::Wire(error @ WireError::UnsupportedVersion { found })) => {
+                prop_assert_eq!(found, wrong);
+                prop_assert!(error.is_handshake_mismatch());
+            }
+            other => prop_assert!(false, "expected UnsupportedVersion, got {:?}", other),
+        }
+    }
+
+    /// A frame whose opening bytes are not the magic is refused as
+    /// "not this protocol" — in particular any pre-handshake
+    /// `[len][payload]` frame, whose first bytes are a length field.
+    #[test]
+    fn handshake_magic_is_enforced(message in message_strategy(), a in any::<u8>(), b in any::<u8>()) {
+        prop_assume!([a, b] != PROTOCOL_MAGIC);
+        let mut frame = message.encode_frame();
+        frame[0] = a;
+        frame[1] = b;
+        match read_frame(&mut frame.as_slice()) {
+            Err(FrameError::Wire(error @ WireError::BadMagic { found })) => {
+                prop_assert_eq!(found, [a, b]);
+                prop_assert!(error.is_handshake_mismatch());
+            }
+            other => prop_assert!(false, "expected BadMagic, got {:?}", other),
         }
     }
 }

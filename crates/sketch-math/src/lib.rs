@@ -28,6 +28,7 @@
 pub mod binomial;
 pub mod bitpack;
 pub mod brent;
+pub mod crc32;
 pub mod fisher;
 pub mod joint;
 pub mod kernels;
@@ -41,6 +42,7 @@ pub mod zeta;
 pub use binomial::BinomialPmf;
 pub use bitpack::{pack_bits, pack_offsets, unpack_bits, unpack_offsets, BitPackError};
 pub use brent::{maximize, minimize, Extremum};
+pub use crc32::crc32;
 pub use fisher::{fisher_information, fisher_information_b1, jaccard_rmse_theory};
 pub use joint::{
     inclusion_exclusion_jaccard, invert_collision_probability, ml_jaccard, ml_jaccard_b1,

@@ -17,10 +17,12 @@
 //! [`demote_after_writes`]: StoreBuilder::demote_after_writes
 //! [`spill_dir`]: StoreBuilder::spill_dir
 
+use crate::error::StoreError;
 use crate::pipeline::{PipelineDefaults, DEFAULT_QUEUE_DEPTH, DEFAULT_WRITER_THREADS};
 use crate::store::{SketchStore, DEFAULT_SHARDS};
 use crate::tier::{TierCodec, TierPolicy};
-use sketch_core::CompactSketch;
+use crate::wal::{self, FsyncPolicy, WalApplier, DEFAULT_CHECKPOINT_AFTER_BYTES};
+use sketch_core::{BatchInsert, CompactSketch, Mergeable};
 use std::path::PathBuf;
 use std::sync::Arc;
 
@@ -68,6 +70,17 @@ pub struct StoreBuilder<S> {
     tier: TierPolicy,
     codec: Option<TierCodec<S>>,
     factory: Box<dyn Fn() -> S + Send + Sync>,
+    durable: Option<DurableConfig<S>>,
+    fsync: FsyncPolicy,
+    checkpoint_after_bytes: u64,
+}
+
+/// Captured when [`StoreBuilder::durable_dir`] is called — the knob's
+/// trait bounds are discharged there, so `build` needs none.
+struct DurableConfig<S> {
+    dir: PathBuf,
+    codec: TierCodec<S>,
+    applier: WalApplier<S>,
 }
 
 impl<S> StoreBuilder<S> {
@@ -82,6 +95,9 @@ impl<S> StoreBuilder<S> {
             tier: TierPolicy::default(),
             codec: None,
             factory: Box::new(factory),
+            durable: None,
+            fsync: FsyncPolicy::Os,
+            checkpoint_after_bytes: DEFAULT_CHECKPOINT_AFTER_BYTES,
         }
     }
 
@@ -163,12 +179,90 @@ impl<S> StoreBuilder<S> {
         self
     }
 
+    /// Makes the store **durable**: every mutation appends a CRC-framed
+    /// record to a write-ahead log under `dir` before applying, and
+    /// building from the same directory later recovers the store —
+    /// loading the newest checkpoint, replaying the log tail, truncating
+    /// a torn final record and quarantining bit-rotted ones (what was
+    /// found is reported by [`SketchStore::recovery_report`] as a
+    /// [`RecoveryReport`](crate::RecoveryReport)).
+    ///
+    /// The directory is created if absent and must be private to this
+    /// store. Pair with [`fsync_policy`](Self::fsync_policy) to choose
+    /// what survives power loss, and
+    /// [`checkpoint_after_bytes`](Self::checkpoint_after_bytes) to bound
+    /// replay time.
+    ///
+    /// The trait bounds are what replay needs: re-ingesting elements
+    /// ([`BatchInsert`]), re-applying replica merges ([`Mergeable`] +
+    /// `Clone` + `PartialEq`) and decoding put/checkpoint payloads
+    /// ([`CompactSketch`]).
+    pub fn durable_dir(mut self, dir: impl Into<PathBuf>) -> Self
+    where
+        S: BatchInsert + Mergeable + Clone + PartialEq + CompactSketch,
+    {
+        self.durable = Some(DurableConfig {
+            dir: dir.into(),
+            codec: TierCodec::of(),
+            applier: WalApplier::of(),
+        });
+        self
+    }
+
+    /// When WAL appends reach the disk (default [`FsyncPolicy::Os`]).
+    /// Only consulted when a [`durable_dir`](Self::durable_dir) is set.
+    ///
+    /// # Panics
+    /// Panics if the policy is `EveryN(0)`.
+    pub fn fsync_policy(mut self, policy: FsyncPolicy) -> Self {
+        if let FsyncPolicy::EveryN(n) = policy {
+            assert!(n > 0, "fsync period must be at least one record");
+        }
+        self.fsync = policy;
+        self
+    }
+
+    /// Log bytes to accumulate before the store cuts the next
+    /// checkpoint (default 8 MiB). Smaller values bound recovery replay
+    /// tighter at the cost of more frequent full-store sweeps. Only
+    /// consulted when a [`durable_dir`](Self::durable_dir) is set.
+    ///
+    /// # Panics
+    /// Panics if `bytes == 0`.
+    pub fn checkpoint_after_bytes(mut self, bytes: u64) -> Self {
+        assert!(bytes > 0, "checkpoint threshold must be at least one byte");
+        self.checkpoint_after_bytes = bytes;
+        self
+    }
+
     /// Builds the store.
     ///
     /// # Panics
     /// Panics if `shards`, `queue_depth` or `writer_threads` was set to
-    /// zero.
+    /// zero, or if a [`durable_dir`](Self::durable_dir) was set and the
+    /// durability layer fails to initialize (directory not creatable,
+    /// log not writable) — use [`try_build`](Self::try_build) to handle
+    /// that case. Recovering from a *corrupt* log is not a panic: bad
+    /// records are quarantined into the [`RecoveryReport`].
+    ///
+    /// [`RecoveryReport`]: crate::RecoveryReport
     pub fn build(self) -> SketchStore<S> {
+        match self.try_build() {
+            Ok(store) => store,
+            Err(error) => panic!("store construction failed: {error}"),
+        }
+    }
+
+    /// Builds the store, surfacing durability initialization failures
+    /// as [`StoreError::Durability`] instead of panicking.
+    ///
+    /// # Errors
+    /// [`StoreError::Durability`] when the durable directory cannot be
+    /// created or its write-ahead log cannot be opened or scanned.
+    ///
+    /// # Panics
+    /// As [`build`](Self::build) for the zero-value knob asserts.
+    pub fn try_build(self) -> Result<SketchStore<S>, StoreError> {
         assert!(self.shards > 0, "store needs at least one shard");
         assert!(
             self.pipeline.queue_depth > 0,
@@ -178,13 +272,23 @@ impl<S> StoreBuilder<S> {
             self.pipeline.writer_threads > 0,
             "pipelines need at least one writer thread"
         );
-        SketchStore::from_parts(
-            self.shards,
-            self.factory,
-            self.pipeline,
-            self.tier,
-            self.codec,
-        )
+        let durable = self.durable;
+        // A durable store always carries the family codec: checkpoint
+        // entries restore warm, and put/merge-in records decode through
+        // the tier prototype.
+        let codec = self.codec.or_else(|| durable.as_ref().map(|d| d.codec));
+        let mut store =
+            SketchStore::from_parts(self.shards, self.factory, self.pipeline, self.tier, codec);
+        if let Some(config) = durable {
+            let (wal, report) = wal::recover(&store, &config.dir, self.fsync, &config.applier)?;
+            store.durability = Some(wal::durability_runtime(
+                wal,
+                report,
+                config.codec,
+                self.checkpoint_after_bytes,
+            ));
+        }
+        Ok(store)
     }
 
     /// Builds the store behind an [`Arc`] — the shape

@@ -140,9 +140,16 @@ impl<S: CompactSketch> SketchStore<S> {
                 if slot.version <= after {
                     continue;
                 }
+                // Quarantined/corrupt slots ship nothing: their
+                // registers are unrecoverable, and it is the *peers'*
+                // healthy copies that will heal this store, not the
+                // other way round.
                 let payload = match &slot.state {
                     TierSlot::Hot(sketch) => sketch.compress(),
-                    cold => self.cold_payload(cold),
+                    cold => match self.cold_payload(cold) {
+                        Some(payload) => payload,
+                        None => continue,
+                    },
                 };
                 entries.push(DeltaEntry {
                     key: key.clone(),
@@ -175,6 +182,13 @@ impl<S: Mergeable + Clone + PartialEq> SketchStore<S> {
     /// [`StoreError::Incompatible`] when `incoming`'s configuration or
     /// seed does not match the stored (or factory-built) sketch.
     pub fn merge_in(&self, key: &str, incoming: &S) -> Result<bool, StoreError> {
+        self.logged(
+            |durability| crate::wal::encode_merge_in(key, &(durability.codec.compress)(incoming)),
+            |store| store.merge_in_unlogged(key, incoming),
+        )
+    }
+
+    pub(crate) fn merge_in_unlogged(&self, key: &str, incoming: &S) -> Result<bool, StoreError> {
         let changed = {
             let mut shard = self.shard(key).write();
             match shard.get_mut(key) {
@@ -193,21 +207,35 @@ impl<S: Mergeable + Clone + PartialEq> SketchStore<S> {
                     true
                 }
                 Some(slot) => {
-                    self.ensure_hot_slot(slot);
-                    slot.touch();
-                    let before_bytes = self.tier.resident_of(slot.hot_ref());
-                    let current = slot.hot_mut();
-                    let merged = current
-                        .merged_with(incoming)
-                        .map_err(StoreError::incompatible)?;
-                    let changed = merged != *current;
-                    if changed {
-                        *current = merged;
+                    if self.ensure_hot_slot(key, slot).is_err() {
+                        // The local registers are corrupt and gone; the
+                        // incoming replica state *is* the best available
+                        // copy, so start the key over from it.
+                        let mut fresh = self.make_sketch();
+                        fresh
+                            .merge_from(incoming)
+                            .map_err(StoreError::incompatible)?;
+                        self.tier.account_insert_hot(&fresh);
+                        slot.state = TierSlot::Hot(fresh);
                         slot.version = self.next_version();
+                        slot.touch();
+                        true
+                    } else {
+                        slot.touch();
+                        let before_bytes = self.tier.resident_of(slot.hot_ref());
+                        let current = slot.hot_mut();
+                        let merged = current
+                            .merged_with(incoming)
+                            .map_err(StoreError::incompatible)?;
+                        let changed = merged != *current;
+                        if changed {
+                            *current = merged;
+                            slot.version = self.next_version();
+                        }
+                        let after_bytes = self.tier.resident_of(slot.hot_ref());
+                        self.tier.account_growth(before_bytes, after_bytes);
+                        changed
                     }
-                    let after_bytes = self.tier.resident_of(slot.hot_ref());
-                    self.tier.account_growth(before_bytes, after_bytes);
-                    changed
                 }
             }
         };
@@ -217,16 +245,18 @@ impl<S: Mergeable + Clone + PartialEq> SketchStore<S> {
 }
 
 impl<S> SketchStore<S> {
-    /// Reads a cold slot's compressed payload without promoting it.
-    fn cold_payload(&self, state: &TierSlot<S>) -> Vec<u8> {
+    /// Reads a cold slot's compressed payload without promoting it;
+    /// `None` for quarantined slots and unreadable spill records.
+    fn cold_payload(&self, state: &TierSlot<S>) -> Option<Vec<u8>> {
         match state {
             TierSlot::Hot(_) => unreachable!("hot slots are compressed directly"),
-            TierSlot::Warm(bytes) => bytes.to_vec(),
+            TierSlot::Warm(bytes) => Some(bytes.to_vec()),
             TierSlot::Frozen {
                 segment,
                 offset,
                 len,
-            } => self.tier.read_frozen(*segment, *offset, *len),
+            } => self.tier.read_frozen(*segment, *offset, *len).ok(),
+            TierSlot::Quarantined(_) => None,
         }
     }
 }

@@ -12,6 +12,20 @@ pub enum StoreError {
     /// `IncompatibleSketches`, which reports *which* of configuration
     /// and hash seed mismatched.
     Incompatible(Box<dyn std::error::Error + Send + Sync>),
+    /// A key's warm/frozen payload failed its checksum or codec
+    /// round-trip. The slot is quarantined: reads keep failing with
+    /// this error, the next write (or replica merge) replaces it with a
+    /// fresh sketch.
+    CorruptSlot {
+        /// The key whose payload was corrupt.
+        key: String,
+        /// What failed (checksum mismatch, codec error, missing
+        /// segment).
+        detail: String,
+    },
+    /// The durability layer failed: the write-ahead log or a checkpoint
+    /// could not be created, written or replayed.
+    Durability(String),
 }
 
 impl StoreError {
@@ -28,6 +42,12 @@ impl std::fmt::Display for StoreError {
             StoreError::EmptySelection => write!(f, "operation needs at least one key"),
             StoreError::Incompatible(source) => {
                 write!(f, "stored sketches cannot be combined: {source}")
+            }
+            StoreError::CorruptSlot { key, detail } => {
+                write!(f, "stored payload under key {key:?} is corrupt: {detail}")
+            }
+            StoreError::Durability(detail) => {
+                write!(f, "durability layer failed: {detail}")
             }
         }
     }

@@ -53,6 +53,14 @@
 //!   store drops). Point reads and writes transparently rehydrate; bulk
 //!   sweeps (similarity queries, snapshots, merge-down) peek without
 //!   promoting. [`SketchStore::tier_stats`] reports the census;
+//! * **crash-safe durability** — with [`StoreBuilder::durable_dir`],
+//!   every mutation appends a CRC-framed record to a segment-rotated
+//!   write-ahead log *before* applying ([`FsyncPolicy`] picks the
+//!   latency/durability trade-off), periodic checkpoints bound replay
+//!   time, and rebuilding from the same directory replays the store
+//!   back bit-for-bit — truncating torn tails and quarantining
+//!   bit-rotted records into a typed [`RecoveryReport`] instead of
+//!   panicking;
 //! * **similarity queries at scale** — [`SketchStore::similar_keys`]
 //!   (top-k) and [`SketchStore::all_pairs`] (threshold sweep) prune
 //!   candidates through an incrementally maintained banding LSH index
@@ -127,6 +135,7 @@ mod query;
 mod snapshot;
 mod store;
 mod tier;
+mod wal;
 
 pub use builder::StoreBuilder;
 pub use delta::{DeltaEntry, StoreDelta};
@@ -142,6 +151,7 @@ pub use query::{
 pub use snapshot::{SnapshotEntry, StoreSnapshot};
 pub use store::{SketchStore, DEFAULT_SHARDS};
 pub use tier::TierStats;
+pub use wal::{FsyncPolicy, RecoveryReport};
 
 // Downstream convenience: the traits a store-bound sketch implements,
 // the joint-estimation result type, and the banding layout the

@@ -554,7 +554,11 @@ where
         for shard in self.shards() {
             let guard = shard.read();
             for (key, slot) in guard.iter() {
-                entries.push((key.clone(), self.peek_slot(slot, |sketch| sketch.clone())));
+                // Corrupt cold slots are skipped: the sweep answers
+                // from the keys whose registers survive.
+                if let Some(sketch) = self.peek_slot(slot, |sketch| sketch.clone()) {
+                    entries.push((key.clone(), sketch));
+                }
             }
         }
         entries.sort_unstable_by(|a, b| a.0.cmp(&b.0));
@@ -684,7 +688,14 @@ where
                 }
                 // Peek, don't promote: index refresh sweeps the whole
                 // store and must leave cold slots in their tier.
-                self.peek_slot(slot, |sketch| sketch.signature_into(&mut signature));
+                // Corrupt slots stay unindexed until a write heals them
+                // (which bumps their version and re-enters this sweep).
+                if self
+                    .peek_slot(slot, |sketch| sketch.signature_into(&mut signature))
+                    .is_none()
+                {
+                    continue;
+                }
                 lsh.band_hashes_into(&signature, &mut band_hashes);
                 if let Some(old) = entries.get(key) {
                     lsh.remove_hashed(key, &old.band_hashes);
@@ -832,11 +843,13 @@ where
                     let guard = shard.read();
                     for (key, slot) in guard.iter() {
                         let cached = self.cached_cardinality(key, slot.version);
-                        let (signature, computed) = self.peek_slot(slot, |sketch| {
+                        let Some((signature, computed)) = self.peek_slot(slot, |sketch| {
                             let mut signature = Vec::new();
                             sketch.signature_into(&mut signature);
                             (signature, cached.is_none().then(|| sketch.cardinality()))
-                        });
+                        }) else {
+                            continue; // corrupt cold slot: skip
+                        };
                         let cardinality = match (cached, computed) {
                             (Some(cardinality), _) => cardinality,
                             (None, computed) => {
@@ -899,15 +912,17 @@ where
             // cardinality when the key's version stamp hasn't moved.
             let row = {
                 let shard = self.shards()[self.shard_index(&name)].read();
-                shard.get(&name).map(|slot| {
+                shard.get(&name).and_then(|slot| {
                     let cached = self.cached_cardinality(&name, slot.version);
-                    let (signature, computed) = self.peek_slot(slot, |sketch| {
+                    // Corrupt cold slots contribute no row (like a
+                    // missing key).
+                    self.peek_slot(slot, |sketch| {
                         (
                             sketch.signature(),
                             cached.is_none().then(|| sketch.cardinality()),
                         )
-                    });
-                    (signature, cached, computed, slot.version)
+                    })
+                    .map(|(signature, computed)| (signature, cached, computed, slot.version))
                 })
             };
             if let Some((signature, cached, computed, version)) = row {

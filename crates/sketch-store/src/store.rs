@@ -6,6 +6,7 @@ use crate::pipeline::PipelineDefaults;
 use crate::query::SimilarityIndex;
 use crate::snapshot::{SnapshotEntry, StoreSnapshot};
 use crate::tier::{TierCodec, TierPolicy, TierRuntime, TierSlot};
+use crate::wal::Durability;
 use parking_lot::{Mutex, RwLock};
 use sketch_core::{
     BatchInsert, CardinalityEstimator, CompactSketch, JointEstimator, JointQuantities, Mergeable,
@@ -152,6 +153,11 @@ pub struct SketchStore<S> {
     /// query (the curve is a configuration property, so the table
     /// never changes for the store's lifetime).
     pub(crate) collision_inverse: std::sync::OnceLock<std::sync::Arc<[f64]>>,
+    /// Write-ahead log and checkpoint runtime, present when the builder
+    /// set a [`durable_dir`](StoreBuilder::durable_dir) (see
+    /// [`crate::wal`]). Installed by the builder before the store is
+    /// shared.
+    pub(crate) durability: Option<Durability<S>>,
 }
 
 impl<S> SketchStore<S> {
@@ -225,6 +231,7 @@ impl<S> SketchStore<S> {
             similarity: Mutex::new(Vec::new()),
             cardinality_cache: Mutex::new(HashMap::new()),
             collision_inverse: std::sync::OnceLock::new(),
+            durability: None,
         }
     }
 
@@ -238,6 +245,14 @@ impl<S> SketchStore<S> {
     #[inline]
     pub(crate) fn write_epoch_load(&self) -> u64 {
         self.write_epoch.load(Ordering::Relaxed)
+    }
+
+    /// Restores the write counter from a recovered checkpoint, so
+    /// version stamps issued after a restart stay above everything
+    /// replicas have already seen (recovery only — the store is not
+    /// shared yet).
+    pub(crate) fn set_write_epoch(&self, value: u64) {
+        self.write_epoch.store(value, Ordering::Relaxed);
     }
 
     /// Builds an empty sketch through the store's factory (the
@@ -312,16 +327,30 @@ impl<S> SketchStore<S> {
     /// A point read **promotes**: if the key's registers are compressed
     /// (warm) or spilled (frozen), they are rehydrated to a resident
     /// sketch under the shard's write lock first; hot keys take the
-    /// original read-lock fast path.
+    /// original read-lock fast path. A corrupt payload behaves like a
+    /// missing key here — use [`try_with_sketch`](Self::try_with_sketch)
+    /// to tell the two apart.
     pub fn with_sketch<R>(&self, key: &str, op: impl FnOnce(&S) -> R) -> Option<R> {
+        self.try_with_sketch(key, op).ok().flatten()
+    }
+
+    /// Like [`with_sketch`](Self::with_sketch), but a warm/frozen
+    /// payload that fails its checksum or codec round-trip surfaces as
+    /// [`StoreError::CorruptSlot`] (and the slot is quarantined)
+    /// instead of folding into `None`.
+    pub fn try_with_sketch<R>(
+        &self,
+        key: &str,
+        op: impl FnOnce(&S) -> R,
+    ) -> Result<Option<R>, StoreError> {
         {
             let shard = self.shard(key).read();
             match shard.get(key) {
-                None => return None,
+                None => return Ok(None),
                 Some(slot) => {
                     if let TierSlot::Hot(sketch) = &slot.state {
                         slot.touch();
-                        return Some(op(sketch));
+                        return Ok(Some(op(sketch)));
                     }
                 }
             }
@@ -330,13 +359,15 @@ impl<S> SketchStore<S> {
         // the unlocked window, hence the re-check).
         let result = {
             let mut shard = self.shard(key).write();
-            let slot = shard.get_mut(key)?;
-            self.ensure_hot_slot(slot);
+            let Some(slot) = shard.get_mut(key) else {
+                return Ok(None);
+            };
+            self.ensure_hot_slot(key, slot)?;
             slot.touch();
             Some(op(slot.hot_ref()))
         };
         self.maintain_if_over_budget();
-        result
+        Ok(result)
     }
 
     /// Stores `sketch` under `key`, replacing and returning any previous
@@ -345,26 +376,55 @@ impl<S> SketchStore<S> {
     /// entry starts hot; a replaced warm/frozen entry is rehydrated on
     /// the way out.
     pub fn put(&self, key: &str, sketch: S) -> Option<S> {
+        // Compress before entering the logged section so the record
+        // closure does not contend with the apply closure for `sketch`.
+        let compact = self
+            .durability
+            .as_ref()
+            .map(|durability| (durability.codec.compress)(&sketch));
+        self.logged(
+            move |_| crate::wal::encode_put(key, &compact.expect("compressed when durable")),
+            move |store| store.put_unlogged(key, sketch),
+        )
+    }
+
+    pub(crate) fn put_unlogged(&self, key: &str, sketch: S) -> Option<S> {
         let version = self.next_version();
         self.tier.account_insert_hot(&sketch);
         let previous = self
             .shard(key)
             .write()
             .insert(key.to_owned(), Slot::hot(sketch, version));
-        let previous = previous.map(|slot| self.take_sketch(slot));
+        let previous = previous.and_then(|slot| self.take_sketch(slot));
         self.maybe_maintain();
         previous
     }
 
     /// Removes and returns the sketch under `key` (rehydrating it if it
-    /// was warm or frozen).
+    /// was warm or frozen; `None` is also returned for a quarantined
+    /// slot, whose registers are unrecoverable — the entry is removed
+    /// either way).
     pub fn remove(&self, key: &str) -> Option<S> {
+        self.logged(
+            |_| crate::wal::encode_remove(key),
+            |store| store.remove_unlogged(key),
+        )
+    }
+
+    pub(crate) fn remove_unlogged(&self, key: &str) -> Option<S> {
         let slot = self.shard(key).write().remove(key)?;
-        Some(self.take_sketch(slot))
+        self.take_sketch(slot)
     }
 
     /// Removes every sketch (and drops any spill segments).
     pub fn clear(&self) {
+        self.logged(
+            |_| crate::wal::encode_clear(),
+            |store| store.clear_unlogged(),
+        );
+    }
+
+    pub(crate) fn clear_unlogged(&self) {
         for shard in self.shards.iter() {
             shard.write().clear();
         }
@@ -424,7 +484,7 @@ impl<S> SketchStore<S> {
             }
             for key in [key_a, key_b] {
                 let slot = shard.get_mut(key).expect("checked above");
-                self.ensure_hot_slot(slot);
+                self.ensure_hot_slot(key, slot)?;
                 slot.touch();
             }
             let a = shard.get(key_a).expect("checked above");
@@ -440,10 +500,10 @@ impl<S> SketchStore<S> {
                 (&mut shard_hi, &mut shard_lo)
             };
             let slot_a = shard_a.get_mut(key_a).ok_or_else(|| not_found(key_a))?;
-            self.ensure_hot_slot(slot_a);
+            self.ensure_hot_slot(key_a, slot_a)?;
             slot_a.touch();
             let slot_b = shard_b.get_mut(key_b).ok_or_else(|| not_found(key_b))?;
-            self.ensure_hot_slot(slot_b);
+            self.ensure_hot_slot(key_b, slot_b)?;
             slot_b.touch();
             op(
                 shard_a.get(key_a).expect("just promoted").hot_ref(),
@@ -463,7 +523,10 @@ impl<S> SketchStore<S> {
     /// version so the similarity index can re-band exactly the keys that
     /// changed, and feeds the tier manager's write counter and byte
     /// accounting.
-    fn with_entry(&self, key: &str, op: impl FnOnce(&mut S)) {
+    ///
+    /// This is the **unlogged** write path — the public mutators wrap it
+    /// in [`logged`](Self::logged), and WAL replay calls it directly.
+    pub(crate) fn with_entry(&self, key: &str, op: impl FnOnce(&mut S)) {
         {
             let mut shard = self.shard(key).write();
             if !shard.contains_key(key) {
@@ -472,7 +535,14 @@ impl<S> SketchStore<S> {
                 shard.insert(key.to_owned(), Slot::hot(sketch, 0));
             }
             let slot = shard.get_mut(key).expect("present or just inserted");
-            self.ensure_hot_slot(slot);
+            if self.ensure_hot_slot(key, slot).is_err() {
+                // A corrupt slot's registers are gone; a write starts
+                // the key over from a fresh factory sketch (in a
+                // replicated deployment anti-entropy re-fills the rest).
+                let sketch = (self.factory)();
+                self.tier.account_insert_hot(&sketch);
+                slot.state = TierSlot::Hot(sketch);
+            }
             slot.version = self.next_version();
             slot.touch();
             if self.tier.enabled() {
@@ -492,12 +562,18 @@ impl<S: Sketch> SketchStore<S> {
     /// Records one element under `key`, creating the sketch on first
     /// use.
     pub fn insert(&self, key: &str, element: u64) {
-        self.with_entry(key, |sketch| sketch.insert_u64(element));
+        self.logged(
+            |_| crate::wal::encode_ingest(key, std::slice::from_ref(&element)),
+            |store| store.with_entry(key, |sketch| sketch.insert_u64(element)),
+        );
     }
 
     /// Records a byte-string element under `key`.
     pub fn insert_bytes(&self, key: &str, element: &[u8]) {
-        self.with_entry(key, |sketch| sketch.insert_bytes(element));
+        self.logged(
+            |_| crate::wal::encode_ingest_bytes(key, &[element]),
+            |store| store.with_entry(key, |sketch| sketch.insert_bytes(element)),
+        );
     }
 
     /// Records a batch of byte-string elements under `key`, creating the
@@ -505,11 +581,16 @@ impl<S: Sketch> SketchStore<S> {
     /// [`ingest`](Self::ingest): one lock acquisition (and one version
     /// stamp) for the whole batch instead of one per element.
     pub fn ingest_bytes(&self, key: &str, elements: &[&[u8]]) {
-        self.with_entry(key, |sketch| {
-            for &element in elements {
-                sketch.insert_bytes(element);
-            }
-        });
+        self.logged(
+            |_| crate::wal::encode_ingest_bytes(key, elements),
+            |store| {
+                store.with_entry(key, |sketch| {
+                    for &element in elements {
+                        sketch.insert_bytes(element);
+                    }
+                });
+            },
+        );
     }
 }
 
@@ -519,7 +600,10 @@ impl<S: BatchInsert> SketchStore<S> {
     /// specialized [`BatchInsert`] (SetSketch's sorted-batch `K_low`
     /// early exit) get their fast path.
     pub fn ingest(&self, key: &str, elements: &[u64]) {
-        self.with_entry(key, |sketch| sketch.insert_batch(elements));
+        self.logged(
+            |_| crate::wal::encode_ingest(key, elements),
+            |store| store.with_entry(key, |sketch| sketch.insert_batch(elements)),
+        );
     }
 }
 
@@ -541,6 +625,9 @@ impl<S: Clone> SketchStore<S> {
     /// frozen keys carry their compressed bytes
     /// ([`SnapshotEntry::Compact`]) — so snapshotting a mostly-cold
     /// store neither blows the memory budget nor perturbs the tiers.
+    /// Quarantined slots (and frozen slots whose spill record fails its
+    /// checksum) are skipped: their registers are unrecoverable, and a
+    /// snapshot of the surviving keys beats no snapshot at all.
     pub fn snapshot(&self) -> StoreSnapshot<S> {
         let mut entries = std::collections::BTreeMap::new();
         for shard in self.shards.iter() {
@@ -552,7 +639,11 @@ impl<S: Clone> SketchStore<S> {
                         segment,
                         offset,
                         len,
-                    } => SnapshotEntry::Compact(self.tier.read_frozen(*segment, *offset, *len)),
+                    } => match self.tier.read_frozen(*segment, *offset, *len) {
+                        Ok(bytes) => SnapshotEntry::Compact(bytes),
+                        Err(_) => continue,
+                    },
+                    TierSlot::Quarantined(_) => continue,
                 };
                 entries.insert(key.clone(), entry);
             }
@@ -605,8 +696,13 @@ impl<S: CompactSketch> SketchStore<S> {
 
 impl<S: CardinalityEstimator> SketchStore<S> {
     /// Estimated distinct count recorded under `key`.
+    ///
+    /// # Errors
+    /// [`StoreError::KeyNotFound`] when the key holds no sketch;
+    /// [`StoreError::CorruptSlot`] when its warm/frozen payload failed
+    /// a checksum or codec round-trip (the slot is quarantined).
     pub fn cardinality(&self, key: &str) -> Result<f64, StoreError> {
-        self.with_sketch(key, |sketch| sketch.cardinality())
+        self.try_with_sketch(key, |sketch| sketch.cardinality())?
             .ok_or_else(|| StoreError::KeyNotFound(key.to_owned()))
     }
 }
@@ -647,10 +743,12 @@ impl<S: Mergeable + Clone> SketchStore<S> {
         let mut merged: Option<S> = None;
         for shard in self.shards.iter() {
             let guard = shard.read();
+            // Corrupt cold entries are skipped: a whole-store fold over
+            // the surviving keys beats refusing to answer at all.
             let temps: Vec<S> = guard
                 .values()
                 .filter(|slot| !slot.state.is_hot())
-                .map(|slot| self.materialize_cold(&slot.state))
+                .filter_map(|slot| self.try_materialize_cold(&slot.state).ok())
                 .collect();
             let hot = guard.values().filter_map(|slot| match &slot.state {
                 TierSlot::Hot(sketch) => Some(sketch),

@@ -28,9 +28,11 @@
 //! write locks (one shard per step, hand advancing round-robin) and is
 //! triggered from the write path — there is no background thread.
 
+use crate::error::StoreError;
 use crate::store::{SketchStore, Slot};
 use parking_lot::Mutex;
 use sketch_core::CompactSketch;
+use sketch_math::crc32::crc32;
 use std::fs::{self, File, OpenOptions};
 use std::io::{self, Read, Seek, SeekFrom, Write};
 use std::path::{Path, PathBuf};
@@ -54,6 +56,13 @@ pub(crate) enum TierSlot<S> {
         /// Length of the compressed record.
         len: u32,
     },
+    /// A slot whose payload failed its checksum or codec round-trip.
+    /// The registers are unrecoverable; the reason is kept for
+    /// diagnostics. Reads fail with [`StoreError::CorruptSlot`]; the
+    /// next write replaces the slot with a fresh factory sketch (in a
+    /// replicated deployment anti-entropy then re-fills it from a
+    /// healthy peer).
+    Quarantined(Box<str>),
 }
 
 impl<S> TierSlot<S> {
@@ -80,12 +89,20 @@ pub struct TierStats {
     pub warm_keys: usize,
     /// Keys spilled to segment files.
     pub frozen_keys: usize,
+    /// Keys quarantined after a failed checksum or codec round-trip
+    /// (their registers are unrecoverable until the next write or
+    /// replica merge replaces them).
+    pub quarantined_keys: usize,
     /// Estimated resident bytes of the hot sketches.
     pub hot_bytes: usize,
     /// Compressed in-memory bytes of the warm entries.
     pub warm_bytes: usize,
     /// Live compressed bytes in the spill segments.
     pub spilled_bytes: usize,
+    /// Cumulative count of failed spill appends (the affected entries
+    /// stayed warm); see [`SketchStore::last_spill_error`] for the most
+    /// recent cause.
+    pub spill_append_failures: usize,
 }
 
 impl TierStats {
@@ -172,6 +189,10 @@ pub(crate) struct TierRuntime<S> {
     /// `scanning` moves it.
     hand: AtomicUsize,
     segments: Mutex<Option<SegmentStore>>,
+    /// Count of failed spill appends (entries stayed warm).
+    spill_failures: AtomicUsize,
+    /// The most recent spill-append failure, for diagnostics.
+    last_spill_error: Mutex<Option<String>>,
 }
 
 impl<S> TierRuntime<S> {
@@ -191,6 +212,8 @@ impl<S> TierRuntime<S> {
             scanning: AtomicBool::new(false),
             hand: AtomicUsize::new(0),
             segments: Mutex::new(None),
+            spill_failures: AtomicUsize::new(0),
+            last_spill_error: Mutex::new(None),
         }
     }
 
@@ -263,7 +286,7 @@ impl<S> TierRuntime<S> {
         match state {
             TierSlot::Hot(sketch) => self.add_hot(-(self.resident_of(sketch) as isize)),
             TierSlot::Warm(bytes) => self.add_warm(-(bytes.len() as isize)),
-            TierSlot::Frozen { .. } => {}
+            TierSlot::Frozen { .. } | TierSlot::Quarantined(_) => {}
         }
     }
 
@@ -298,13 +321,14 @@ impl<S> TierRuntime<S> {
         *self.segments.lock() = None;
     }
 
-    /// Rehydrates compressed bytes through the codec.
+    /// Rehydrates compressed bytes through the codec. A failure means
+    /// the payload was corrupted underneath us (bit rot in memory or on
+    /// disk) — the caller quarantines the slot.
     ///
     /// # Panics
-    /// Panics when the bytes do not round-trip — warm/frozen payloads
-    /// are always produced by the same store's codec, so a failure
-    /// means the spill file (or memory) was corrupted underneath us.
-    pub(crate) fn decode(&self, bytes: &[u8]) -> S {
+    /// Panics when the store holds cold slots without a codec — a
+    /// construction bug, not a data fault.
+    pub(crate) fn try_decode(&self, bytes: &[u8]) -> Result<S, String> {
         let codec = self
             .codec
             .as_ref()
@@ -314,38 +338,59 @@ impl<S> TierRuntime<S> {
             .as_ref()
             .expect("cold slot in a store without a prototype");
         (codec.decompress)(prototype, bytes)
-            .unwrap_or_else(|error| panic!("tier codec failed to rehydrate registers: {error}"))
     }
 
     /// Appends compressed bytes to the spill segments, creating them on
     /// first use. Returns `None` when the spill directory cannot be
-    /// created or written — the caller leaves the entry warm.
+    /// created or written — the caller leaves the entry warm, and the
+    /// failure is counted in [`TierStats::spill_append_failures`] with
+    /// the cause kept for [`SketchStore::last_spill_error`].
     pub(crate) fn append_frozen(&self, bytes: &[u8]) -> Option<(u32, u64, u32)> {
-        let mut guard = self.segments.lock();
-        let segments = match guard.as_mut() {
-            Some(segments) => segments,
-            None => {
-                let created =
+        let result = {
+            let mut guard = self.segments.lock();
+            match guard.as_mut() {
+                Some(segments) => segments.append(bytes),
+                None => {
                     SegmentStore::create(self.policy.spill_dir.as_deref(), SEGMENT_ROTATE_BYTES)
-                        .ok()?;
-                guard.insert(created)
+                        .and_then(|created| guard.insert(created).append(bytes))
+                }
             }
         };
-        segments.append(bytes).ok()
+        match result {
+            Ok(location) => Some(location),
+            Err(error) => {
+                self.spill_failures.fetch_add(1, Ordering::Relaxed);
+                *self.last_spill_error.lock() = Some(error.to_string());
+                None
+            }
+        }
     }
 
-    /// Reads a frozen record back.
-    ///
-    /// # Panics
-    /// Panics when the segment file is missing or truncated — that is
-    /// data loss, not a recoverable condition.
-    pub(crate) fn read_frozen(&self, segment: u32, offset: u64, len: u32) -> Vec<u8> {
+    /// Number of spill appends that have failed so far.
+    pub(crate) fn spill_failure_count(&self) -> usize {
+        self.spill_failures.load(Ordering::Relaxed)
+    }
+
+    /// The most recent spill-append failure.
+    pub(crate) fn last_spill_failure(&self) -> Option<String> {
+        self.last_spill_error.lock().clone()
+    }
+
+    /// Reads a frozen record back, verifying its checksum. An error
+    /// means the registers are lost (missing, truncated or bit-rotted
+    /// segment) — the caller quarantines the slot.
+    pub(crate) fn read_frozen(
+        &self,
+        segment: u32,
+        offset: u64,
+        len: u32,
+    ) -> Result<Vec<u8>, String> {
         self.segments
             .lock()
             .as_mut()
-            .expect("frozen slot without spill segments")
+            .ok_or_else(|| "frozen slot without spill segments".to_owned())?
             .read(segment, offset, len)
-            .expect("spill segment unreadable: frozen registers lost")
+            .map_err(|error| format!("spill segment unreadable: {error}"))
     }
 
     /// The spill directory, if segments have been created (tests assert
@@ -378,12 +423,19 @@ static SPILL_DIR_COUNTER: AtomicU64 = AtomicU64::new(0);
 /// temp directory, deleted (with the directory) on drop. Records are
 /// never rewritten; superseded records (a frozen key promoted and later
 /// re-frozen) become dead bytes until the store drops.
+///
+/// Each record is framed as `[u32 CRC32 LE][payload]`: the checksum is
+/// verified on every read, so bit rot in a spill file surfaces as a
+/// typed error instead of garbage registers decoded into a sketch.
 struct SegmentStore {
     dir: PathBuf,
     files: Vec<File>,
     current_len: u64,
     rotate_bytes: u64,
 }
+
+/// Bytes of the per-record CRC32 prefix in a spill segment.
+const SPILL_CRC_BYTES: u64 = 4;
 
 impl SegmentStore {
     fn create(parent: Option<&Path>, rotate_bytes: u64) -> io::Result<Self> {
@@ -418,6 +470,8 @@ impl SegmentStore {
         Ok(())
     }
 
+    /// Appends one CRC-framed record; the returned location's `len` is
+    /// the payload length (the checksum prefix is an internal detail).
     fn append(&mut self, bytes: &[u8]) -> io::Result<(u32, u64, u32)> {
         if self.current_len >= self.rotate_bytes {
             self.rotate()?;
@@ -426,18 +480,31 @@ impl SegmentStore {
         let offset = self.current_len;
         let file = self.files.last_mut().expect("create() opened a segment");
         file.seek(SeekFrom::Start(offset))?;
+        file.write_all(&crc32(bytes).to_le_bytes())?;
         file.write_all(bytes)?;
-        self.current_len += bytes.len() as u64;
+        self.current_len += SPILL_CRC_BYTES + bytes.len() as u64;
         Ok((segment, offset, bytes.len() as u32))
     }
 
+    /// Reads one record back and verifies its checksum; a mismatch is
+    /// reported as [`io::ErrorKind::InvalidData`].
     fn read(&mut self, segment: u32, offset: u64, len: u32) -> io::Result<Vec<u8>> {
         let file = self.files.get_mut(segment as usize).ok_or_else(|| {
             io::Error::new(io::ErrorKind::NotFound, "spill segment index out of range")
         })?;
         file.seek(SeekFrom::Start(offset))?;
+        let mut stored = [0u8; SPILL_CRC_BYTES as usize];
+        file.read_exact(&mut stored)?;
         let mut buf = vec![0u8; len as usize];
         file.read_exact(&mut buf)?;
+        let expected = u32::from_le_bytes(stored);
+        let actual = crc32(&buf);
+        if actual != expected {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!("spill record checksum mismatch ({actual:#010x} != {expected:#010x})"),
+            ));
+        }
         Ok(buf)
     }
 }
@@ -470,7 +537,10 @@ impl<S> SketchStore<S> {
     /// assert!(stats.warm_keys > 0, "periodic scan demoted cold keys");
     /// ```
     pub fn tier_stats(&self) -> TierStats {
-        let mut stats = TierStats::default();
+        let mut stats = TierStats {
+            spill_append_failures: self.tier.spill_failure_count(),
+            ..TierStats::default()
+        };
         for shard in self.shards() {
             for slot in shard.read().values() {
                 match &slot.state {
@@ -486,10 +556,18 @@ impl<S> SketchStore<S> {
                         stats.frozen_keys += 1;
                         stats.spilled_bytes += *len as usize;
                     }
+                    TierSlot::Quarantined(_) => stats.quarantined_keys += 1,
                 }
             }
         }
         stats
+    }
+
+    /// The most recent spill-append failure, if any — the entries whose
+    /// spill failed stayed warm (counted in
+    /// [`TierStats::spill_append_failures`]).
+    pub fn last_spill_error(&self) -> Option<String> {
+        self.tier.last_spill_failure()
     }
 
     /// The directory holding this store's spill segments — `None`
@@ -504,67 +582,92 @@ impl<S> SketchStore<S> {
     /// Caller holds the shard's write lock. Promotion does **not** bump
     /// the slot's version: the registers are unchanged, so similarity
     /// index entries stay valid.
-    pub(crate) fn ensure_hot_slot(&self, slot: &mut Slot<S>) {
-        let promoted = match &slot.state {
-            TierSlot::Hot(_) => return,
-            TierSlot::Warm(bytes) => {
-                let sketch = self.tier.decode(bytes);
-                self.tier
-                    .account_promote(bytes.len(), self.tier.resident_of(&sketch));
-                sketch
-            }
+    ///
+    /// A payload that fails its checksum or codec round-trip
+    /// **quarantines** the slot (its byte accounting is unwound) and
+    /// returns [`StoreError::CorruptSlot`]; read paths surface the
+    /// error, write paths replace the quarantined slot with a fresh
+    /// factory sketch.
+    pub(crate) fn ensure_hot_slot(&self, key: &str, slot: &mut Slot<S>) -> Result<(), StoreError> {
+        let rehydrated = match &slot.state {
+            TierSlot::Hot(_) => return Ok(()),
+            TierSlot::Quarantined(reason) => Err(reason.to_string()),
+            TierSlot::Warm(bytes) => self
+                .tier
+                .try_decode(bytes)
+                .map(|sketch| (sketch, bytes.len())),
             TierSlot::Frozen {
                 segment,
                 offset,
                 len,
-            } => {
-                let bytes = self.tier.read_frozen(*segment, *offset, *len);
-                let sketch = self.tier.decode(&bytes);
-                self.tier.account_promote(0, self.tier.resident_of(&sketch));
-                sketch
-            }
+            } => self
+                .tier
+                .read_frozen(*segment, *offset, *len)
+                .and_then(|bytes| self.tier.try_decode(&bytes))
+                .map(|sketch| (sketch, 0)),
         };
-        slot.state = TierSlot::Hot(promoted);
+        match rehydrated {
+            Ok((sketch, freed_warm)) => {
+                self.tier
+                    .account_promote(freed_warm, self.tier.resident_of(&sketch));
+                slot.state = TierSlot::Hot(sketch);
+                Ok(())
+            }
+            Err(detail) => {
+                self.tier.account_remove(&slot.state);
+                slot.state = TierSlot::Quarantined(detail.clone().into_boxed_str());
+                Err(StoreError::CorruptSlot {
+                    key: key.to_owned(),
+                    detail,
+                })
+            }
+        }
     }
 
     /// Runs `op` against the slot's sketch **without promoting**: hot
     /// slots are borrowed, cold slots are decompressed into a temporary
     /// that is dropped afterwards. This is the bulk-extraction path
     /// (similarity sweeps, snapshots, merge-down) — a full-store query
-    /// must not blow the residency budget it runs under.
-    pub(crate) fn peek_slot<R>(&self, slot: &Slot<S>, op: impl FnOnce(&S) -> R) -> R {
+    /// must not blow the residency budget it runs under. Returns `None`
+    /// for quarantined or corrupt slots: bulk sweeps skip them (the
+    /// slot is formally quarantined the next time a promoting path
+    /// touches it — a peek holds only the shard's read lock).
+    pub(crate) fn peek_slot<R>(&self, slot: &Slot<S>, op: impl FnOnce(&S) -> R) -> Option<R> {
         match &slot.state {
-            TierSlot::Hot(sketch) => op(sketch),
-            state => op(&self.materialize_cold(state)),
+            TierSlot::Hot(sketch) => Some(op(sketch)),
+            state => self.try_materialize_cold(state).ok().map(|s| op(&s)),
         }
     }
 
-    /// Decompresses a warm or frozen state into an owned sketch.
+    /// Decompresses a warm or frozen state into an owned sketch; the
+    /// error carries the corruption detail.
     ///
     /// # Panics
     /// Panics on hot states (callers dispatch those separately).
-    pub(crate) fn materialize_cold(&self, state: &TierSlot<S>) -> S {
+    pub(crate) fn try_materialize_cold(&self, state: &TierSlot<S>) -> Result<S, String> {
         match state {
             TierSlot::Hot(_) => unreachable!("materialize_cold on a resident slot"),
-            TierSlot::Warm(bytes) => self.tier.decode(bytes),
+            TierSlot::Quarantined(reason) => Err(reason.to_string()),
+            TierSlot::Warm(bytes) => self.tier.try_decode(bytes),
             TierSlot::Frozen {
                 segment,
                 offset,
                 len,
-            } => {
-                let bytes = self.tier.read_frozen(*segment, *offset, *len);
-                self.tier.decode(&bytes)
-            }
+            } => self
+                .tier
+                .read_frozen(*segment, *offset, *len)
+                .and_then(|bytes| self.tier.try_decode(&bytes)),
         }
     }
 
     /// Converts a removed slot into its sketch, unwinding the byte
-    /// accounting.
-    pub(crate) fn take_sketch(&self, slot: Slot<S>) -> S {
+    /// accounting. `None` when the payload was corrupt — the registers
+    /// are unrecoverable, and the slot has already left the map.
+    pub(crate) fn take_sketch(&self, slot: Slot<S>) -> Option<S> {
         self.tier.account_remove(&slot.state);
         match slot.state {
-            TierSlot::Hot(sketch) => sketch,
-            state => self.materialize_cold(&state),
+            TierSlot::Hot(sketch) => Some(sketch),
+            state => self.try_materialize_cold(&state).ok(),
         }
     }
 

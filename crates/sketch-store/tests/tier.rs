@@ -397,3 +397,109 @@ fn snapshot_with_compact_entries_roundtrips_through_json() {
         );
     }
 }
+
+/// Bit rot in a spill segment must surface as a typed
+/// [`StoreError::CorruptSlot`] — the slot is quarantined, bulk sweeps
+/// skip it, and the next write heals the key with a fresh sketch.
+#[test]
+fn corrupt_spill_record_quarantines_and_heals() {
+    use sketch_store::StoreError;
+
+    let config = SetSketchConfig::new(256, 2.0, 20.0, 62).unwrap();
+    let store = SketchStore::builder(move || SetSketch2::new(config, 11))
+        .shards(2)
+        .memory_budget_bytes(1)
+        .build();
+    for i in 0..20u64 {
+        store.ingest(&format!("k{i}"), &[i, i + 100, i + 200]);
+    }
+    let stats = store.tier_stats();
+    assert!(
+        stats.frozen_keys > 0,
+        "1-byte budget must freeze: {stats:?}"
+    );
+    assert_eq!(stats.spill_append_failures, 0);
+    assert_eq!(stats.quarantined_keys, 0);
+
+    // Rot every byte of every spill segment.
+    let spill = store.spill_path().expect("segments exist");
+    for entry in std::fs::read_dir(&spill).unwrap().flatten() {
+        let path = entry.path();
+        let len = std::fs::metadata(&path).unwrap().len() as usize;
+        std::fs::write(&path, vec![0xFF; len]).unwrap();
+    }
+
+    // Every key frozen at corruption time now fails typed; nothing
+    // panics, nothing decodes garbage.
+    let mut corrupt = Vec::new();
+    for i in 0..20u64 {
+        let key = format!("k{i}");
+        match store.cardinality(&key) {
+            Err(StoreError::CorruptSlot { key: k, .. }) => {
+                assert_eq!(k, key);
+                corrupt.push(key);
+            }
+            Ok(_) => {}
+            Err(other) => panic!("unexpected error for {key}: {other}"),
+        }
+    }
+    assert!(!corrupt.is_empty(), "some frozen key must have rotted");
+    let stats = store.tier_stats();
+    assert!(
+        stats.quarantined_keys >= corrupt.len(),
+        "every corrupt read quarantines: {stats:?}"
+    );
+
+    // `with_sketch` folds corruption into None; `get` likewise.
+    assert!(store.get(&corrupt[0]).is_none());
+    // Quarantined slots are skipped by snapshots instead of aborting
+    // them.
+    assert!(!store.snapshot().entries.contains_key(&corrupt[0]));
+
+    // A write heals the key: fresh sketch, usable again.
+    store.ingest(&corrupt[0], &[1, 2, 3]);
+    let healed = store.cardinality(&corrupt[0]).expect("healed by write");
+    assert!(healed > 0.0);
+    assert!(store.tier_stats().quarantined_keys < stats.quarantined_keys);
+}
+
+/// A spill directory that cannot be created must not lose writes
+/// silently: entries stay warm, the failure is counted in
+/// [`TierStats::spill_append_failures`] and the cause is surfaced.
+#[test]
+fn failed_spill_appends_are_counted_and_surfaced() {
+    // A regular file where the spill parent should be: creating the
+    // per-store subdirectory fails on every append attempt.
+    let bogus = std::env::temp_dir().join(format!("tier-spill-blocked-{}", std::process::id()));
+    std::fs::write(&bogus, b"file, not a directory").unwrap();
+
+    let config = SetSketchConfig::new(256, 2.0, 20.0, 62).unwrap();
+    let store = SketchStore::builder(move || SetSketch2::new(config, 12))
+        .shards(2)
+        .memory_budget_bytes(1)
+        .spill_dir(&bogus)
+        .build();
+    for i in 0..20u64 {
+        store.ingest(&format!("k{i}"), &[i, i + 1, i + 2]);
+    }
+
+    let stats = store.tier_stats();
+    assert!(
+        stats.spill_append_failures > 0,
+        "blocked spills must be counted: {stats:?}"
+    );
+    assert_eq!(stats.frozen_keys, 0, "nothing can freeze: {stats:?}");
+    assert_eq!(
+        stats.total_keys(),
+        20,
+        "failed spills must not lose keys: {stats:?}"
+    );
+    let error = store.last_spill_error().expect("cause surfaced");
+    assert!(!error.is_empty());
+
+    // Data intact: entries stayed warm/hot and remain readable.
+    for i in 0..20u64 {
+        assert!(store.cardinality(&format!("k{i}")).unwrap() > 0.0);
+    }
+    std::fs::remove_file(&bogus).unwrap();
+}
