@@ -1,0 +1,334 @@
+//! Rejoin economics: checkpoint-shipping bootstrap versus a
+//! gossip-only rejoin.
+//!
+//! A replacement node with an empty store has two ways back into a
+//! cluster of `DONORS` converged peers:
+//!
+//! * **bootstrap** — pull one donor's checkpoint image in CRC-framed
+//!   chunks ([`ClusterNode::bootstrap_via`]) and bulk-install it, then
+//!   let delta sync carry the tail;
+//! * **gossip full pull** — start delta sync from nothing, which makes
+//!   the first round pull *every* peer's *entire* state (high-water
+//!   marks are all zero), so the same registers ship `DONORS` times.
+//!
+//! Both paths run over the frame-accurate [`MemNetwork`] at 256 and
+//! 4096 keys; the harness records bytes on the wire, exchange count
+//! and wall-clock per mode (best of a few repetitions, fresh rejoiner
+//! each time) into `BENCH_bootstrap.json` at the workspace root. The
+//! claim under test: at 4096 keys the snapshot install beats the
+//! full-pull rejoin on **both** bytes and wall-clock.
+//!
+//! Passing `--test` (i.e. `cargo bench --bench bootstrap -- --test`)
+//! or setting `BOOTSTRAP_SMOKE=1` runs a tiny corpus instead — every
+//! code path exercised in seconds, JSON untouched.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use setsketch::{SetSketch1, SetSketchConfig};
+use sketch_cluster::{BootstrapConfig, ClusterNode, MemNetwork, NodeId};
+use sketch_store::SketchStore;
+use std::sync::Arc;
+use std::time::Instant;
+
+/// True when the bench should run the tiny smoke corpus.
+fn smoke_mode() -> bool {
+    std::env::args().any(|a| a == "--test") || std::env::var_os("BOOTSTRAP_SMOKE").is_some()
+}
+
+/// Moderate register arrays (m = 256, b = 2): enough payload per key
+/// that wire bytes dominate framing, small enough that 4096 keys stay
+/// a quick bench.
+fn factory() -> impl Fn() -> SetSketch1 + Clone + Send + Sync + 'static {
+    let config = SetSketchConfig::new(256, 2.0, 20.0, 62).expect("valid");
+    move || SetSketch1::new(config, 11)
+}
+
+/// Converged peers a replacement node can rejoin through; also how
+/// many times a gossip-only rejoin re-ships the full state.
+const DONORS: u32 = 3;
+
+/// The rejoiner's id — one past the donors.
+const REJOINER: NodeId = DONORS;
+
+struct Fixture {
+    net: Arc<MemNetwork>,
+    donor_ids: Vec<NodeId>,
+    all_ids: Vec<NodeId>,
+    donors: Vec<Arc<ClusterNode<SetSketch1>>>,
+}
+
+/// `DONORS` registered nodes holding identical converged state:
+/// `keys` keys, `elements_per_key` elements each.
+fn build_donors(keys: u64, elements_per_key: u64) -> Fixture {
+    let donor_ids: Vec<NodeId> = (0..DONORS).collect();
+    let all_ids: Vec<NodeId> = (0..=DONORS).collect();
+    let net = Arc::new(MemNetwork::new());
+    let make = factory();
+    let donors: Vec<_> = donor_ids
+        .iter()
+        .map(|&id| {
+            let store = SketchStore::builder(make.clone()).shards(8).build();
+            Arc::new(ClusterNode::new(id, all_ids.iter().copied(), store))
+        })
+        .collect();
+    for node in &donors {
+        net.register(Arc::clone(node));
+    }
+    for key in 0..keys {
+        let elements: Vec<u64> = (0..elements_per_key).map(|j| key << 24 | j).collect();
+        donors[0]
+            .store()
+            .ingest(&format!("key-{key:05}"), &elements);
+    }
+    for node in &donors[1..] {
+        node.full_sync_with(&*net, 0).expect("seed sync");
+    }
+    Fixture {
+        net,
+        donor_ids,
+        all_ids,
+        donors,
+    }
+}
+
+/// An empty replacement node, *not* registered — it only pulls.
+fn fresh_rejoiner(fixture: &Fixture) -> Arc<ClusterNode<SetSketch1>> {
+    let store = SketchStore::builder(factory()).shards(8).build();
+    Arc::new(ClusterNode::new(
+        REJOINER,
+        fixture.all_ids.iter().copied(),
+        store,
+    ))
+}
+
+/// Checks the rejoined node landed bit-for-bit on the donors' state.
+fn assert_converged(rejoined: &ClusterNode<SetSketch1>, donor: &ClusterNode<SetSketch1>) {
+    let mut got = rejoined.store().keys();
+    got.sort_unstable();
+    let mut want = donor.store().keys();
+    want.sort_unstable();
+    assert_eq!(got, want, "rejoined key set diverged");
+    for key in got.iter().take(4).chain(got.iter().rev().take(4)) {
+        assert_eq!(
+            rejoined.store().get(key),
+            donor.store().get(key),
+            "state of {key:?} diverged"
+        );
+    }
+}
+
+struct ModeCost {
+    bytes: u64,
+    exchanges: u64,
+    millis: f64,
+    keys: usize,
+}
+
+/// Best-of-`reps` wall-clock for `rejoin`, each rep on a fresh
+/// rejoiner with the network counters isolated to that rep. Bytes and
+/// exchanges are deterministic across reps; wall-clock keeps the
+/// fastest run.
+fn measured(
+    fixture: &Fixture,
+    reps: u32,
+    mut rejoin: impl FnMut(&ClusterNode<SetSketch1>) -> usize,
+) -> ModeCost {
+    let mut best = ModeCost {
+        bytes: 0,
+        exchanges: 0,
+        millis: f64::INFINITY,
+        keys: 0,
+    };
+    for _ in 0..reps {
+        let rejoiner = fresh_rejoiner(fixture);
+        fixture.net.reset_stats();
+        let start = Instant::now();
+        let keys = rejoin(&rejoiner);
+        let millis = start.elapsed().as_secs_f64() * 1e3;
+        let stats = fixture.net.stats();
+        assert_converged(&rejoiner, &fixture.donors[0]);
+        if millis < best.millis {
+            best = ModeCost {
+                bytes: stats.total_bytes(),
+                exchanges: stats.exchanges,
+                millis,
+                keys,
+            };
+        }
+    }
+    best
+}
+
+struct Comparison {
+    keys: u64,
+    bootstrap: ModeCost,
+    gossip: ModeCost,
+    snapshot_bytes: u64,
+    chunks: u32,
+}
+
+fn run_comparison(keys: u64, elements_per_key: u64, reps: u32) -> Comparison {
+    let fixture = build_donors(keys, elements_per_key);
+    let config = BootstrapConfig::default();
+
+    let mut snapshot_bytes = 0;
+    let mut chunks = 0;
+    let bootstrap = measured(&fixture, reps, |rejoiner| {
+        let report = rejoiner
+            .bootstrap_via(&*fixture.net, &fixture.donor_ids, &config)
+            .expect("bootstrap");
+        snapshot_bytes = report.snapshot_bytes;
+        chunks = report.chunks_received;
+        report.keys_installed
+    });
+
+    // Gossip-only rejoin: the first delta round of an empty node is a
+    // full pull from every donor.
+    let gossip = measured(&fixture, reps, |rejoiner| {
+        let mut received = 0;
+        for &peer in &fixture.donor_ids {
+            received += rejoiner
+                .sync_with(&*fixture.net, peer)
+                .expect("sync")
+                .keys_received;
+        }
+        received
+    });
+
+    Comparison {
+        keys,
+        bootstrap,
+        gossip,
+        snapshot_bytes,
+        chunks,
+    }
+}
+
+fn print_comparison(c: &Comparison) {
+    let line = |label: &str, cost: &ModeCost| {
+        println!(
+            "{:<50} {:>12} B  {:>9.2} ms  {:>5} keys  {:>4} exchanges",
+            format!("bootstrap/{label}/{}keys", c.keys),
+            cost.bytes,
+            cost.millis,
+            cost.keys,
+            cost.exchanges,
+        );
+    };
+    line("snapshot_install", &c.bootstrap);
+    line("gossip_full_pull", &c.gossip);
+    println!(
+        "bootstrap: snapshot rejoin at {} keys moves {:.1}% of the bytes in {:.1}% of the time \
+         ({} chunks, {} B image)",
+        c.keys,
+        100.0 * c.bootstrap.bytes as f64 / c.gossip.bytes as f64,
+        100.0 * c.bootstrap.millis / c.gossip.millis,
+        c.chunks,
+        c.snapshot_bytes,
+    );
+}
+
+fn write_json(comparisons: &[Comparison], elements_per_key: u64) {
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_bootstrap.json");
+    let cost = |r: &ModeCost| {
+        format!(
+            "{{\"bytes\": {}, \"millis\": {:.3}, \"keys\": {}, \"exchanges\": {}}}",
+            r.bytes, r.millis, r.keys, r.exchanges
+        )
+    };
+    let sizes: Vec<String> = comparisons
+        .iter()
+        .map(|c| {
+            format!(
+                "    {{\"keys\": {}, \"snapshot_chunks\": {}, \"snapshot_image_bytes\": {},\n     \
+                 \"bootstrap\": {},\n     \"gossip_full_pull\": {},\n     \
+                 \"bytes_ratio\": {:.4}, \"time_ratio\": {:.4}}}",
+                c.keys,
+                c.chunks,
+                c.snapshot_bytes,
+                cost(&c.bootstrap),
+                cost(&c.gossip),
+                c.bootstrap.bytes as f64 / c.gossip.bytes as f64,
+                c.bootstrap.millis / c.gossip.millis,
+            )
+        })
+        .collect();
+    let json = format!(
+        "{{\n  \"note\": \"rejoin cost for an empty replacement node against {donors} converged \
+         donors (SetSketch m=256 b=2, {epk} elements/key) over the frame-accurate MemNetwork: \
+         bootstrap ships one donor's checkpoint image in CRC-framed chunks then fast-forwards \
+         high-water marks; gossip_full_pull is the first delta round of an empty node, which \
+         re-pulls full state from every donor; bytes count both directions including length \
+         prefixes, wall-clock is best-of-reps on a fresh rejoiner\",\n  \
+         \"config\": {{\"donors\": {donors}, \"m\": 256, \"b\": 2.0, \
+         \"elements_per_key\": {epk}, \"chunk_bytes\": {chunk}, \"seed\": 11}},\n  \
+         \"sizes\": [\n{sizes}\n  ]\n}}\n",
+        donors = DONORS,
+        epk = elements_per_key,
+        chunk = sketch_cluster::DEFAULT_SNAPSHOT_CHUNK_BYTES,
+        sizes = sizes.join(",\n"),
+    );
+    if let Err(error) = std::fs::write(path, json) {
+        eprintln!("warning: could not write {path}: {error}");
+    } else {
+        println!("recorded bootstrap measurements into {path}");
+    }
+}
+
+fn bench_rejoin_modes(_c: &mut Criterion) {
+    let smoke = smoke_mode();
+    let (sizes, elements_per_key, reps): (&[u64], u64, u32) = if smoke {
+        (&[16, 48], 20, 1)
+    } else {
+        (&[256, 4096], 100, 3)
+    };
+    let comparisons: Vec<Comparison> = sizes
+        .iter()
+        .map(|&keys| run_comparison(keys, elements_per_key, reps))
+        .collect();
+    for c in &comparisons {
+        print_comparison(c);
+        assert!(
+            c.bootstrap.bytes < c.gossip.bytes,
+            "snapshot rejoin at {} keys must beat a full-pull rejoin on bytes \
+             ({} vs {})",
+            c.keys,
+            c.bootstrap.bytes,
+            c.gossip.bytes
+        );
+    }
+    if !smoke {
+        // The headline claim: at the largest size the snapshot install
+        // also wins on wall-clock, not just wire bytes.
+        let largest = comparisons.last().expect("at least one size");
+        assert!(
+            largest.bootstrap.millis < largest.gossip.millis,
+            "snapshot rejoin at {} keys must beat a full-pull rejoin on wall-clock \
+             ({:.2} ms vs {:.2} ms)",
+            largest.keys,
+            largest.bootstrap.millis,
+            largest.gossip.millis
+        );
+        write_json(&comparisons, elements_per_key);
+    }
+}
+
+/// Criterion micro-benchmark: one complete small bootstrap (fresh
+/// rejoiner, chunked pull, bulk install, fast-forward).
+fn bench_small_bootstrap(c: &mut Criterion) {
+    let fixture = build_donors(if smoke_mode() { 8 } else { 64 }, 20);
+    let config = BootstrapConfig::default();
+    let mut group = c.benchmark_group("bootstrap");
+    group.bench_function("small_snapshot_install", |bencher| {
+        bencher.iter(|| {
+            let rejoiner = fresh_rejoiner(&fixture);
+            rejoiner
+                .bootstrap_via(&*fixture.net, &fixture.donor_ids, &config)
+                .expect("bootstrap")
+                .keys_installed
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_rejoin_modes, bench_small_bootstrap);
+criterion_main!(benches);

@@ -266,6 +266,15 @@ where
         expect_ack(self.transport.request(node, &Message::Shutdown)?)
     }
 
+    /// The current value of `node`'s store-global write counter,
+    /// fetched without transferring any state. Useful for operators
+    /// watching a bootstrapped node catch up: once the local
+    /// high-water mark reaches this, the node has everything the peer
+    /// has written.
+    pub fn node_write_epoch(&self, node: NodeId) -> Result<u64, ClusterError> {
+        crate::bootstrap::probe_write_epoch(&self.transport, node)
+    }
+
     /// All nodes, with `key`'s ring owner moved to the front.
     fn nodes_owner_first(&self, key: &str) -> Vec<NodeId> {
         let owner = self.ring.owner(key);

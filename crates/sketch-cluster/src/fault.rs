@@ -4,17 +4,29 @@
 //! [`WyRand`], makes exchanges fail the ways real networks do:
 //!
 //! * **drop** — the exchange errors; the caller saw nothing;
-//! * **stale replay** — a previously recorded response for the same
-//!   peer is returned instead of a fresh one. From the caller's view
-//!   this is a duplicated or reordered frame arriving late: it must be
-//!   absorbed by idempotent merging and the monotonic high-water mark;
+//! * **stale replay** — a previously recorded response *to the same
+//!   kind of request* for the same peer is returned instead of a
+//!   fresh one. From the caller's view this is a duplicated or
+//!   reordered frame arriving late: it must be absorbed by idempotent
+//!   merging, the monotonic high-water mark, or (for snapshot
+//!   streams) chunk-index validation;
 //! * **duplicate** — the request is delivered twice (the peer handles
 //!   it both times), modeling a retransmitted request frame;
 //! * **partition** — a peer set is unreachable until healed, modeling
-//!   a network split.
+//!   a network split;
+//! * **mid-stream cut** — a one-shot, counter-armed failure of a
+//!   snapshot exchange ([`cut_snapshot_stream`]
+//!   (FaultyTransport::cut_snapshot_stream)): the first N chunk
+//!   exchanges pass, then one fails, modeling a donor connection
+//!   dying partway through a bootstrap transfer.
 //!
-//! The wrapper is deterministic for a fixed seed and call sequence —
-//! rerunning a failing test replays the identical fault schedule.
+//! The wrapper is deterministic for a fixed seed and call sequence:
+//! every `request` consumes exactly the same number of values from
+//! the random stream whatever verdict falls, so the fault schedule
+//! depends only on the *order and count* of exchanges — adding new
+//! message types to the protocol, or changing which faults a plan
+//! enables, cannot shift the decisions made for later exchanges.
+//! Rerunning a failing test replays the identical schedule.
 
 use crate::error::ClusterError;
 use crate::transport::Transport;
@@ -36,7 +48,8 @@ pub struct FaultPlan {
 }
 
 impl FaultPlan {
-    /// A plan that never injects anything (partitions still work).
+    /// A plan that never injects anything (partitions and armed
+    /// snapshot cuts still work).
     pub fn none() -> Self {
         FaultPlan {
             drop: 0.0,
@@ -58,14 +71,21 @@ impl FaultPlan {
 
 struct FaultState {
     rng: WyRand,
-    /// Last few responses per peer, fodder for stale replays.
-    recorded: HashMap<NodeId, Vec<Message>>,
+    /// Last few responses per (peer, request kind), fodder for stale
+    /// replays. Keying by request kind keeps a replay *plausible* —
+    /// a delta response is never replayed to a snapshot request —
+    /// which models frame reordering within one exchange type rather
+    /// than protocol corruption.
+    recorded: HashMap<(NodeId, &'static str), Vec<Message>>,
     /// Peers currently unreachable through this transport.
     partitioned: HashSet<NodeId>,
+    /// Armed one-shot snapshot-stream cuts: peer → how many more
+    /// snapshot exchanges pass before one fails.
+    snapshot_cuts: HashMap<NodeId, u32>,
     injected: u64,
 }
 
-/// How many old responses per peer are kept for stale replays.
+/// How many old responses per (peer, kind) are kept for stale replays.
 const REPLAY_DEPTH: usize = 4;
 
 /// A [`Transport`] wrapper that injects faults per [`FaultPlan`].
@@ -89,6 +109,7 @@ impl<T: Transport> FaultyTransport<T> {
                 rng: WyRand::new(seed),
                 recorded: HashMap::new(),
                 partitioned: HashSet::new(),
+                snapshot_cuts: HashMap::new(),
                 injected: 0,
             }),
         }
@@ -109,8 +130,19 @@ impl<T: Transport> FaultyTransport<T> {
         self.state.lock().partitioned.clear();
     }
 
-    /// How many faults (drops, replays, duplicates) have fired so far
-    /// — lets tests assert the schedule actually injected something.
+    /// Arms a one-shot mid-stream cut against `peer`: the next
+    /// `after_chunks` snapshot exchanges pass through cleanly, then
+    /// exactly one fails with a transport error — the donor's
+    /// connection dying partway through a bootstrap transfer — after
+    /// which the stream flows again. Counter-based, not random, so
+    /// tests cut at an exact chunk boundary.
+    pub fn cut_snapshot_stream(&self, peer: NodeId, after_chunks: u32) {
+        self.state.lock().snapshot_cuts.insert(peer, after_chunks);
+    }
+
+    /// How many faults (drops, replays, duplicates, snapshot cuts)
+    /// have fired so far — lets tests assert the schedule actually
+    /// injected something.
     pub fn faults_injected(&self) -> u64 {
         self.state.lock().injected
     }
@@ -125,27 +157,52 @@ impl<T: Transport> Transport for FaultyTransport<T> {
     fn request(&self, peer: NodeId, message: &Message) -> Result<Message, ClusterError> {
         enum Verdict {
             Partitioned,
+            Cut,
             Drop,
             Replay(Message),
             Duplicate,
             Clean,
         }
+        let kind = message.kind();
         let verdict = {
             let mut state = self.state.lock();
+            // Fixed draw discipline: exactly three unit rolls and one
+            // index draw per request, whatever the verdict — see the
+            // module docs for why.
+            let drop_roll = state.rng.unit_exclusive();
+            let replay_roll = state.rng.unit_exclusive();
+            let duplicate_roll = state.rng.unit_exclusive();
+            let pick = state.rng.next_u64() as usize;
             if state.partitioned.contains(&peer) {
                 Verdict::Partitioned
-            } else if state.rng.unit_exclusive() < self.plan.drop {
+            } else if kind == "snapshot_request" && state.snapshot_cuts.contains_key(&peer) {
+                // An armed cut overrides the random schedule for
+                // snapshot exchanges: pass deterministically until
+                // the counter runs out, then fail exactly once.
+                let remaining = state
+                    .snapshot_cuts
+                    .get_mut(&peer)
+                    .expect("checked contains_key above");
+                if *remaining == 0 {
+                    state.snapshot_cuts.remove(&peer);
+                    state.injected += 1;
+                    Verdict::Cut
+                } else {
+                    *remaining -= 1;
+                    Verdict::Clean
+                }
+            } else if drop_roll < self.plan.drop {
                 state.injected += 1;
                 Verdict::Drop
-            } else if state.rng.unit_exclusive() < self.plan.stale_replay {
-                // Replay only if something was recorded for this peer;
-                // otherwise run the exchange cleanly.
-                let roll = state.rng.next_u64() as usize;
+            } else if replay_roll < self.plan.stale_replay {
+                // Replay only if something was recorded for this peer
+                // and request kind; otherwise run the exchange
+                // cleanly.
                 let replay = state
                     .recorded
-                    .get(&peer)
+                    .get(&(peer, kind))
                     .filter(|history| !history.is_empty())
-                    .map(|history| history[roll % history.len()].clone());
+                    .map(|history| history[pick % history.len()].clone());
                 match replay {
                     Some(message) => {
                         state.injected += 1;
@@ -153,7 +210,7 @@ impl<T: Transport> Transport for FaultyTransport<T> {
                     }
                     None => Verdict::Clean,
                 }
-            } else if state.rng.unit_exclusive() < self.plan.duplicate {
+            } else if duplicate_roll < self.plan.duplicate {
                 state.injected += 1;
                 Verdict::Duplicate
             } else {
@@ -164,6 +221,9 @@ impl<T: Transport> Transport for FaultyTransport<T> {
             Verdict::Partitioned => Err(ClusterError::Transport(format!(
                 "partitioned from node {peer}"
             ))),
+            Verdict::Cut => Err(ClusterError::Transport(format!(
+                "snapshot stream to node {peer} cut mid-transfer"
+            ))),
             Verdict::Drop => Err(ClusterError::Transport(format!(
                 "frame to node {peer} dropped"
             ))),
@@ -173,12 +233,12 @@ impl<T: Transport> Transport for FaultyTransport<T> {
                 // second response.
                 let _ = self.inner.request(peer, message)?;
                 let response = self.inner.request(peer, message)?;
-                self.record(peer, &response);
+                self.record(peer, kind, &response);
                 Ok(response)
             }
             Verdict::Clean => {
                 let response = self.inner.request(peer, message)?;
-                self.record(peer, &response);
+                self.record(peer, kind, &response);
                 Ok(response)
             }
         }
@@ -186,9 +246,9 @@ impl<T: Transport> Transport for FaultyTransport<T> {
 }
 
 impl<T: Transport> FaultyTransport<T> {
-    fn record(&self, peer: NodeId, response: &Message) {
+    fn record(&self, peer: NodeId, kind: &'static str, response: &Message) {
         let mut state = self.state.lock();
-        let history = state.recorded.entry(peer).or_default();
+        let history = state.recorded.entry((peer, kind)).or_default();
         if history.len() == REPLAY_DEPTH {
             history.remove(0);
         }

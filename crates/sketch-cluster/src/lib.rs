@@ -32,6 +32,13 @@
 //!   jittered backoff and per-peer suspicion with half-open probes, so
 //!   gossip skips a dead peer ([`ClusterError::Suspect`]) instead of
 //!   re-spending its deadline budget on it every tick.
+//! * **Bootstrap** — a node with *no* state (fresh machine, wiped
+//!   disk) ships one healthy peer's checkpoint image in CRC-validated
+//!   chunks ([`ClusterNode::bootstrap`], [`BootstrapConfig`]) instead
+//!   of re-pulling full state from every peer, resumes mid-stream
+//!   after transport failures, fails over to another donor if the
+//!   first dies, and hands off to delta sync — the
+//!   [`BootstrapReport`] says what happened.
 //! * [`ClusterClient`] — routes writes by the ring and fans reads out
 //!   across replicas (top-k similarity and union cardinality merge
 //!   answers from every node); the `*_detailed` variants report
@@ -76,6 +83,7 @@
 //! }
 //! ```
 
+mod bootstrap;
 mod client;
 mod error;
 mod fault;
@@ -86,6 +94,9 @@ mod tcp;
 mod transport;
 pub mod wire;
 
+pub use bootstrap::{
+    BootstrapConfig, BootstrapReport, DEFAULT_SNAPSHOT_CHUNK_BYTES, MAX_SNAPSHOT_CHUNK_BYTES,
+};
 pub use client::{ClusterClient, FanOut};
 pub use error::ClusterError;
 pub use fault::{FaultPlan, FaultyTransport};

@@ -20,6 +20,7 @@
 //! fault-injecting wrapper — which is what makes convergence and
 //! partition tests exact instead of timing-dependent.
 
+use crate::bootstrap::{BootstrapReport, MAX_SNAPSHOT_CHUNK_BYTES};
 use crate::error::ClusterError;
 use crate::transport::Transport;
 use crate::wire::{ErrorCode, Message, NodeId, WireEntry, WireNeighbor};
@@ -27,9 +28,11 @@ use parking_lot::Mutex;
 use sketch_core::{
     BatchInsert, CardinalityEstimator, CompactSketch, JointEstimator, Mergeable, Signature,
 };
+use sketch_math::crc32;
 use sketch_store::{SketchStore, StoreError};
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
 
 /// The trait bundle a sketch family needs to serve in a cluster:
 /// batched recording, union merging, joint + cardinality estimation,
@@ -84,6 +87,21 @@ pub struct SyncReport {
 /// anti-entropy pull (every N-th tick, rotating through peers).
 pub const DEFAULT_FULL_SYNC_EVERY: u64 = 8;
 
+/// How many snapshot exports a donor keeps alive at once. Two is
+/// enough for one in-flight bootstrap plus one straggler resuming a
+/// superseded stream; anything older re-exports on demand.
+const MAX_CACHED_EXPORTS: usize = 2;
+
+/// One cached checkpoint image being streamed to bootstrappers. The
+/// image is immutable once exported; chunks are sliced out of it on
+/// demand, so a resume after transport failure re-reads the same
+/// bytes.
+struct SnapshotExport {
+    id: u64,
+    epoch: u64,
+    image: Arc<[u8]>,
+}
+
 /// One replica of the cluster: a node id, the local store, and the
 /// per-peer replication bookkeeping.
 pub struct ClusterNode<S> {
@@ -99,6 +117,15 @@ pub struct ClusterNode<S> {
     /// Gossip tick counter; drives the anti-entropy rotation.
     ticks: AtomicU64,
     full_sync_every: u64,
+    /// Donor side of node bootstrap: cached checkpoint images being
+    /// streamed out, newest last.
+    exports: Mutex<Vec<SnapshotExport>>,
+    /// Export id allocator (ids start at 1; 0 on the wire means
+    /// "start a fresh stream").
+    export_ids: AtomicU64,
+    /// The report of the last completed bootstrap of *this* node, if
+    /// any — kept for operators ([`last_bootstrap`](Self::last_bootstrap)).
+    last_bootstrap: Mutex<Option<BootstrapReport>>,
 }
 
 impl<S: ClusterSketch> ClusterNode<S> {
@@ -120,6 +147,9 @@ impl<S: ClusterSketch> ClusterNode<S> {
             high_water: Mutex::new(HashMap::new()),
             ticks: AtomicU64::new(0),
             full_sync_every: DEFAULT_FULL_SYNC_EVERY,
+            exports: Mutex::new(Vec::new()),
+            export_ids: AtomicU64::new(0),
+            last_bootstrap: Mutex::new(None),
         }
     }
 
@@ -235,6 +265,12 @@ impl<S: ClusterSketch> ClusterNode<S> {
                     Err(error) => store_error_message(&error),
                 }
             }
+            Message::SnapshotRequest {
+                snapshot_id,
+                chunk,
+                chunk_bytes,
+                max_lag,
+            } => self.serve_snapshot_chunk(snapshot_id, chunk, chunk_bytes, max_lag),
             // Shutdown is transport-level: the serving loop intercepts
             // it; a node reached in-process just acknowledges.
             Message::Shutdown => Message::Ack,
@@ -339,6 +375,96 @@ impl<S: ClusterSketch> ClusterNode<S> {
             reports.push((peer, self.full_sync_with(transport, peer)));
         }
         reports
+    }
+
+    /// The report of the last bootstrap this node completed, if any.
+    pub fn last_bootstrap(&self) -> Option<BootstrapReport> {
+        self.last_bootstrap.lock().clone()
+    }
+
+    pub(crate) fn set_last_bootstrap(&self, report: BootstrapReport) {
+        *self.last_bootstrap.lock() = Some(report);
+    }
+
+    /// Advances the high-water mark held for `peer` to at least
+    /// `up_to` (monotonic — a stale value can never regress it).
+    pub(crate) fn advance_high_water(&self, peer: NodeId, up_to: u64) {
+        let mut marks = self.high_water.lock();
+        let mark = marks.entry(peer).or_insert(0);
+        *mark = (*mark).max(up_to);
+    }
+
+    /// Donor side of node bootstrap: serves one CRC-framed chunk of a
+    /// checkpoint image.
+    ///
+    /// `snapshot_id == 0` (or an id this donor no longer caches)
+    /// starts a fresh export and answers with **chunk 0** of the new
+    /// stream regardless of the requested index — the requester
+    /// detects the id change and restarts accumulation, so a donor
+    /// restart mid-stream cannot splice two different images together.
+    fn serve_snapshot_chunk(
+        &self,
+        snapshot_id: u64,
+        chunk: u32,
+        chunk_bytes: u32,
+        max_lag: u64,
+    ) -> Message {
+        let chunk_len = (chunk_bytes as usize).min(MAX_SNAPSHOT_CHUNK_BYTES);
+        if chunk_len == 0 {
+            return Message::Error {
+                code: ErrorCode::BadRequest,
+                detail: "snapshot chunk_bytes must be at least 1".to_owned(),
+            };
+        }
+        let mut exports = self.exports.lock();
+        let cached = (snapshot_id != 0)
+            .then(|| exports.iter().find(|export| export.id == snapshot_id))
+            .flatten();
+        let (id, epoch, image, chunk) = match cached {
+            Some(export) => (export.id, export.epoch, Arc::clone(&export.image), chunk),
+            None => {
+                // Unknown stream: refuse if there is nothing to ship,
+                // otherwise export fresh and restart at chunk 0.
+                if self.store.is_empty() {
+                    return Message::Error {
+                        code: ErrorCode::Unavailable,
+                        detail: "nothing to bootstrap from: store is empty".to_owned(),
+                    };
+                }
+                let exported = self.store.export_checkpoint(max_lag);
+                let id = self.export_ids.fetch_add(1, Ordering::Relaxed) + 1;
+                let image: Arc<[u8]> = exported.bytes.into();
+                exports.push(SnapshotExport {
+                    id,
+                    epoch: exported.write_epoch,
+                    image: Arc::clone(&image),
+                });
+                if exports.len() > MAX_CACHED_EXPORTS {
+                    exports.remove(0);
+                }
+                (id, exported.write_epoch, image, 0)
+            }
+        };
+        drop(exports);
+        let total_chunks = image.len().div_ceil(chunk_len).max(1) as u32;
+        if chunk >= total_chunks {
+            return Message::Error {
+                code: ErrorCode::BadRequest,
+                detail: format!("snapshot chunk {chunk} out of range (total {total_chunks})"),
+            };
+        }
+        let start = chunk as usize * chunk_len;
+        let end = (start + chunk_len).min(image.len());
+        let data = image[start..end].to_vec();
+        Message::SnapshotChunk {
+            snapshot_id: id,
+            epoch,
+            total_bytes: image.len() as u64,
+            chunk,
+            total_chunks,
+            crc: crc32(&data),
+            data,
+        }
     }
 }
 

@@ -17,7 +17,9 @@
 //! the gossip loop. Layer [`Resilient`](crate::Resilient) on top for
 //! retries and suspicion tracking.
 
+use crate::bootstrap::BootstrapConfig;
 use crate::error::ClusterError;
+use crate::health::Resilient;
 use crate::node::{ClusterNode, ClusterSketch};
 use crate::transport::Transport;
 use crate::wire::{read_frame, write_frame, FrameError, Message, NodeId};
@@ -177,6 +179,44 @@ impl TcpServer {
         let handle = std::thread::Builder::new()
             .name(format!("cluster-gossip-{}", node.id()))
             .spawn(move || {
+                while !stop.load(Ordering::Acquire) {
+                    std::thread::sleep(interval);
+                    if stop.load(Ordering::Acquire) {
+                        break;
+                    }
+                    let _ = node.gossip_tick(&*transport);
+                }
+            })
+            .expect("spawn gossip thread");
+        self.gossip_handle = Some(handle);
+    }
+
+    /// [`start_gossip`](Self::start_gossip) for a node that may be a
+    /// cold replacement: before the tick loop starts, if the node
+    /// [`needs_bootstrap`](ClusterNode::needs_bootstrap), the gossip
+    /// thread first pulls a peer's checkpoint
+    /// ([`ClusterNode::bootstrap`]), retrying on a fresh donor
+    /// ordering every `interval` until some donor delivers — peers
+    /// may still be coming up when a replaced node starts, so "no
+    /// donor yet" is a condition to wait out, not an error. Delta
+    /// sync then starts from the snapshot instead of from nothing.
+    pub fn start_gossip_with_bootstrap<S: ClusterSketch, T: Transport + Send + Sync + 'static>(
+        &mut self,
+        node: Arc<ClusterNode<S>>,
+        transport: Arc<Resilient<T>>,
+        interval: Duration,
+        config: BootstrapConfig,
+    ) {
+        let stop = Arc::clone(&self.stop);
+        let handle = std::thread::Builder::new()
+            .name(format!("cluster-gossip-{}", node.id()))
+            .spawn(move || {
+                while node.needs_bootstrap() && !stop.load(Ordering::Acquire) {
+                    if node.bootstrap(&transport, &config).is_ok() {
+                        break;
+                    }
+                    std::thread::sleep(interval);
+                }
                 while !stop.load(Ordering::Acquire) {
                     std::thread::sleep(interval);
                     if stop.load(Ordering::Acquire) {

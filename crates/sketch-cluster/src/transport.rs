@@ -79,6 +79,7 @@ type Handler = Arc<dyn Fn(Message) -> Message + Send + Sync>;
 pub struct MemNetwork {
     handlers: RwLock<HashMap<NodeId, Handler>>,
     stats: Mutex<TrafficStats>,
+    by_kind: Mutex<HashMap<&'static str, TrafficStats>>,
 }
 
 impl MemNetwork {
@@ -101,9 +102,25 @@ impl MemNetwork {
         *self.stats.lock()
     }
 
-    /// Zeroes the traffic counters.
+    /// Traffic counters broken down by request kind
+    /// ([`Message::kind`]), ascending by kind — what lets a benchmark
+    /// attribute bytes to snapshot shipping vs delta sync vs
+    /// anti-entropy on the same run.
+    pub fn stats_by_kind(&self) -> Vec<(&'static str, TrafficStats)> {
+        let mut out: Vec<_> = self
+            .by_kind
+            .lock()
+            .iter()
+            .map(|(&kind, &stats)| (kind, stats))
+            .collect();
+        out.sort_unstable_by_key(|&(kind, _)| kind);
+        out
+    }
+
+    /// Zeroes the traffic counters (total and per-kind).
     pub fn reset_stats(&self) {
         *self.stats.lock() = TrafficStats::default();
+        self.by_kind.lock().clear();
     }
 }
 
@@ -125,6 +142,12 @@ impl Transport for MemNetwork {
         stats.exchanges += 1;
         stats.request_bytes += request_frame.len() as u64;
         stats.response_bytes += response_frame.len() as u64;
+        drop(stats);
+        let mut by_kind = self.by_kind.lock();
+        let entry = by_kind.entry(message.kind()).or_default();
+        entry.exchanges += 1;
+        entry.request_bytes += request_frame.len() as u64;
+        entry.response_bytes += response_frame.len() as u64;
         Ok(returned)
     }
 }

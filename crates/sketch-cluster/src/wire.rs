@@ -149,6 +149,9 @@ pub enum ErrorCode {
     BadRequest = 4,
     /// The node cannot serve this message type.
     Unsupported = 5,
+    /// The node cannot serve the request *right now* (e.g. a snapshot
+    /// donor with nothing to bootstrap from) — try another peer.
+    Unavailable = 6,
 }
 
 impl ErrorCode {
@@ -159,6 +162,7 @@ impl ErrorCode {
             3 => ErrorCode::BadPayload,
             4 => ErrorCode::BadRequest,
             5 => ErrorCode::Unsupported,
+            6 => ErrorCode::Unavailable,
             other => return Err(WireError::UnknownErrorCode(other)),
         })
     }
@@ -259,6 +263,46 @@ pub enum Message {
     /// Ask the serving process to stop accepting connections and exit
     /// its serve loop.
     Shutdown,
+    /// Ask a donor for one chunk of its checkpoint image — the
+    /// bootstrap stream is a sequence of these strict request/response
+    /// exchanges, which is what makes resume-from-chunk after a
+    /// mid-stream failure natural (the requester just re-asks for the
+    /// chunk it is missing).
+    SnapshotRequest {
+        /// The export being streamed, as previously returned in a
+        /// [`Message::SnapshotChunk`]; `0` asks the donor to start (or
+        /// restart) a fresh export.
+        snapshot_id: u64,
+        /// Zero-based index of the requested chunk.
+        chunk: u32,
+        /// Requested chunk size in bytes (the donor may clamp it).
+        chunk_bytes: u32,
+        /// Maximum donor-side checkpoint lag (write-counter ticks) the
+        /// requester accepts before the donor must sweep fresh.
+        max_lag: u64,
+    },
+    /// One chunk of a donor's checkpoint image.
+    SnapshotChunk {
+        /// Identifies the export this chunk belongs to. A response
+        /// carrying a different id than requested means the donor
+        /// restarted the export — the requester resets to chunk 0.
+        snapshot_id: u64,
+        /// The donor's write counter covered by the image (the
+        /// requester's high-water mark toward the donor once
+        /// installed).
+        epoch: u64,
+        /// Total size of the full image in bytes.
+        total_bytes: u64,
+        /// Zero-based index of this chunk.
+        chunk: u32,
+        /// Number of chunks in the full image.
+        total_chunks: u32,
+        /// CRC32 of `data`, validated by the requester before the
+        /// chunk is buffered.
+        crc: u32,
+        /// This chunk's slice of the image.
+        data: Vec<u8>,
+    },
     /// Positive acknowledgement with no payload.
     Ack,
     /// A scalar response (cardinality, Jaccard), as IEEE-754 bits.
@@ -295,11 +339,13 @@ const TAG_JACCARD: u8 = 5;
 const TAG_SIMILAR_KEYS: u8 = 6;
 const TAG_UNION_SKETCH: u8 = 7;
 const TAG_SHUTDOWN: u8 = 8;
+const TAG_SNAPSHOT_REQUEST: u8 = 9;
 const TAG_ACK: u8 = 16;
 const TAG_VALUE: u8 = 17;
 const TAG_NEIGHBORS: u8 = 18;
 const TAG_PAYLOAD: u8 = 19;
 const TAG_ERROR: u8 = 20;
+const TAG_SNAPSHOT_CHUNK: u8 = 21;
 
 impl Message {
     /// Encodes the message payload (without the frame length prefix).
@@ -355,6 +401,36 @@ impl Message {
                 }
             }
             Message::Shutdown => buf.push(TAG_SHUTDOWN),
+            Message::SnapshotRequest {
+                snapshot_id,
+                chunk,
+                chunk_bytes,
+                max_lag,
+            } => {
+                buf.push(TAG_SNAPSHOT_REQUEST);
+                put_u64(&mut buf, *snapshot_id);
+                put_u32(&mut buf, *chunk);
+                put_u32(&mut buf, *chunk_bytes);
+                put_u64(&mut buf, *max_lag);
+            }
+            Message::SnapshotChunk {
+                snapshot_id,
+                epoch,
+                total_bytes,
+                chunk,
+                total_chunks,
+                crc,
+                data,
+            } => {
+                buf.push(TAG_SNAPSHOT_CHUNK);
+                put_u64(&mut buf, *snapshot_id);
+                put_u64(&mut buf, *epoch);
+                put_u64(&mut buf, *total_bytes);
+                put_u32(&mut buf, *chunk);
+                put_u32(&mut buf, *total_chunks);
+                put_u32(&mut buf, *crc);
+                put_bytes(&mut buf, data);
+            }
             Message::Ack => buf.push(TAG_ACK),
             Message::Value { bits } => {
                 buf.push(TAG_VALUE);
@@ -436,6 +512,21 @@ impl Message {
                 Message::UnionSketch { keys }
             }
             TAG_SHUTDOWN => Message::Shutdown,
+            TAG_SNAPSHOT_REQUEST => Message::SnapshotRequest {
+                snapshot_id: cursor.u64()?,
+                chunk: cursor.u32()?,
+                chunk_bytes: cursor.u32()?,
+                max_lag: cursor.u64()?,
+            },
+            TAG_SNAPSHOT_CHUNK => Message::SnapshotChunk {
+                snapshot_id: cursor.u64()?,
+                epoch: cursor.u64()?,
+                total_bytes: cursor.u64()?,
+                chunk: cursor.u32()?,
+                total_chunks: cursor.u32()?,
+                crc: cursor.u32()?,
+                data: cursor.bytes()?,
+            },
             TAG_ACK => Message::Ack,
             TAG_VALUE => Message::Value {
                 bits: cursor.u64()?,
@@ -462,6 +553,29 @@ impl Message {
         };
         cursor.finish()?;
         Ok(message)
+    }
+
+    /// A stable, human-readable name of the message's variant — the
+    /// key for per-kind traffic accounting and kind-plausible fault
+    /// replay.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            Message::DeltaRequest { .. } => "delta_request",
+            Message::Delta { .. } => "delta",
+            Message::Ingest { .. } => "ingest",
+            Message::Cardinality { .. } => "cardinality",
+            Message::Jaccard { .. } => "jaccard",
+            Message::SimilarKeys { .. } => "similar_keys",
+            Message::UnionSketch { .. } => "union_sketch",
+            Message::Shutdown => "shutdown",
+            Message::SnapshotRequest { .. } => "snapshot_request",
+            Message::SnapshotChunk { .. } => "snapshot_chunk",
+            Message::Ack => "ack",
+            Message::Value { .. } => "value",
+            Message::Neighbors { .. } => "neighbors",
+            Message::Payload { .. } => "payload",
+            Message::Error { .. } => "error",
+        }
     }
 
     /// Encodes the message as a complete frame: magic, version byte,
@@ -733,6 +847,29 @@ mod tests {
         put_u64(&mut payload, 0);
         put_u32(&mut payload, u32::MAX);
         assert_eq!(Message::decode(&payload), Err(WireError::LengthMismatch));
+    }
+
+    #[test]
+    fn snapshot_messages_roundtrip() {
+        let request = Message::SnapshotRequest {
+            snapshot_id: 7,
+            chunk: 3,
+            chunk_bytes: 65536,
+            max_lag: 1000,
+        };
+        let chunk = Message::SnapshotChunk {
+            snapshot_id: 7,
+            epoch: 99,
+            total_bytes: 10,
+            chunk: 3,
+            total_chunks: 4,
+            crc: 0xDEAD_BEEF,
+            data: vec![1, 2, 3],
+        };
+        for message in [request, chunk] {
+            let frame = message.encode_frame();
+            assert_eq!(read_frame(&mut frame.as_slice()).unwrap(), message);
+        }
     }
 
     #[test]

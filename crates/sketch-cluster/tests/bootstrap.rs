@@ -1,0 +1,272 @@
+//! Node bootstrap via checkpoint shipping: a node with no state pulls
+//! one peer's checkpoint image in CRC-validated chunks, survives
+//! mid-stream cuts and donor death, never half-installs, and hands off
+//! to delta sync for bit-for-bit convergence.
+
+use setsketch::{SetSketch1, SetSketchConfig};
+use sketch_cluster::{
+    BootstrapConfig, ClusterError, ClusterNode, FaultPlan, FaultyTransport, MemNetwork, Message,
+    NodeId, Transport,
+};
+use sketch_math::crc32;
+use sketch_store::SketchStore;
+use std::sync::Arc;
+
+fn factory() -> impl Fn() -> SetSketch1 + Clone + Send + Sync + 'static {
+    let config = SetSketchConfig::new(64, 2.0, 20.0, 62).unwrap();
+    move || SetSketch1::new(config, 5)
+}
+
+type Node = Arc<ClusterNode<SetSketch1>>;
+
+/// Chunk size small enough that the donated image needs several
+/// chunks — resume and failover are only exercised mid-stream.
+fn small_chunks() -> BootstrapConfig {
+    BootstrapConfig {
+        chunk_bytes: 64,
+        ..BootstrapConfig::default()
+    }
+}
+
+/// `count` nodes on one in-memory network. Nodes 0 and 1 carry state
+/// (synced with each other); the rest start empty.
+fn seeded_cluster(count: u32) -> (Arc<MemNetwork>, Vec<Node>) {
+    let ids: Vec<NodeId> = (0..count).collect();
+    let net = Arc::new(MemNetwork::new());
+    let make = factory();
+    let nodes: Vec<Node> = ids
+        .iter()
+        .map(|&id| {
+            let store = SketchStore::builder(make.clone()).shards(4).build();
+            Arc::new(ClusterNode::new(id, ids.iter().copied(), store))
+        })
+        .collect();
+    for node in &nodes {
+        net.register(Arc::clone(node));
+    }
+    for key in 0..6u64 {
+        let name = format!("stream-{key}");
+        let elements: Vec<u64> = (0..400).map(|j| key * 1_000 + j).collect();
+        nodes[0].store().ingest(&name, &elements);
+    }
+    nodes[1].store().ingest("solo-1", &[7, 8, 9]);
+    // Donors 0 and 1 hold identical full state before any bootstrap.
+    nodes[0].sync_with(&net, 1).unwrap();
+    nodes[1].sync_with(&net, 0).unwrap();
+    (net, nodes)
+}
+
+fn assert_same_state(a: &Node, b: &Node) {
+    let mut left = a.store().keys();
+    left.sort_unstable();
+    let mut right = b.store().keys();
+    right.sort_unstable();
+    assert_eq!(left, right, "key sets diverged");
+    for key in &left {
+        assert_eq!(
+            a.store().get(key),
+            b.store().get(key),
+            "state of {key:?} diverged"
+        );
+    }
+}
+
+/// A cold node bootstraps from a donor in several chunks, then the
+/// delta tail carries post-snapshot writes — ending bit-for-bit on the
+/// donors' state.
+#[test]
+fn cold_node_bootstraps_and_converges() {
+    let (net, nodes) = seeded_cluster(3);
+    assert!(nodes[2].needs_bootstrap());
+
+    let report = nodes[2]
+        .bootstrap_via(&net, &[0, 1], &small_chunks())
+        .unwrap();
+    assert_eq!(report.donor, 0);
+    assert!(report.failed_donors.is_empty());
+    assert!(
+        report.chunks_received > 1,
+        "image fit one chunk; shrink chunk_bytes: {report:?}"
+    );
+    assert!(!report.merged, "an empty store must bulk-install");
+    assert_eq!(report.keys_installed, 7);
+    assert!(!nodes[2].needs_bootstrap());
+    assert_eq!(nodes[2].last_bootstrap(), Some(report.clone()));
+    // The snapshot alone already matches the donor.
+    assert_same_state(&nodes[2], &nodes[0]);
+    // Fast-forward adopted the donor's epoch as its high-water mark.
+    assert_eq!(report.donor_epoch, nodes[2].high_water(0));
+
+    // Writes after the snapshot arrive through ordinary delta sync.
+    nodes[0].store().ingest("post-snapshot", &[1, 2, 3]);
+    nodes[1].sync_with(&net, 0).unwrap();
+    nodes[2].sync_round(&net);
+    assert_same_state(&nodes[2], &nodes[0]);
+    assert_same_state(&nodes[1], &nodes[0]);
+}
+
+/// A one-shot mid-stream cut (the donor connection dying between
+/// chunks) is absorbed by re-requesting the same chunk — the report
+/// records the resume, and the installed state is identical.
+#[test]
+fn bootstrap_resumes_after_midstream_cut() {
+    let (net, nodes) = seeded_cluster(3);
+    let transport = FaultyTransport::new(Arc::clone(&net), FaultPlan::none(), 0xB007);
+    transport.cut_snapshot_stream(0, 2);
+
+    let report = nodes[2]
+        .bootstrap_via(&transport, &[0, 1], &small_chunks())
+        .unwrap();
+    assert_eq!(report.donor, 0, "a resumable cut must not fail the donor");
+    assert!(report.failed_donors.is_empty());
+    assert_eq!(report.chunks_resumed, 1);
+    assert_eq!(transport.faults_injected(), 1);
+    assert_same_state(&nodes[2], &nodes[0]);
+}
+
+/// When the donor dies mid-stream for good (no retry budget), the
+/// bootstrapper abandons it, records the failure, and completes from
+/// the next donor.
+#[test]
+fn donor_failover_midstream() {
+    let (net, nodes) = seeded_cluster(3);
+    let transport = FaultyTransport::new(Arc::clone(&net), FaultPlan::none(), 0xDEAD);
+    // Two chunks flow from donor 0, then its stream fails — and with
+    // no per-chunk retry budget, one failure is final.
+    transport.cut_snapshot_stream(0, 2);
+    let config = BootstrapConfig {
+        max_chunk_retries: 0,
+        ..small_chunks()
+    };
+
+    let report = nodes[2]
+        .bootstrap_via(&transport, &[0, 1], &config)
+        .unwrap();
+    assert_eq!(report.donor, 1);
+    assert_eq!(report.failed_donors, vec![0]);
+    assert_same_state(&nodes[2], &nodes[1]);
+}
+
+/// Corrupts the first byte of every snapshot payload while fixing up
+/// the chunk CRC, so the damage is only detectable at install time —
+/// exercising the validate-before-mutate rollback, not the per-chunk
+/// CRC.
+struct CorruptingTransport<T> {
+    inner: T,
+    corrupt_peer: NodeId,
+}
+
+impl<T: Transport> Transport for CorruptingTransport<T> {
+    fn request(&self, peer: NodeId, message: &Message) -> Result<Message, ClusterError> {
+        let response = self.inner.request(peer, message)?;
+        match response {
+            Message::SnapshotChunk {
+                snapshot_id,
+                epoch,
+                total_bytes,
+                chunk,
+                total_chunks,
+                mut data,
+                ..
+            } if peer == self.corrupt_peer => {
+                if let Some(byte) = data.first_mut() {
+                    *byte ^= 0xFF;
+                }
+                Ok(Message::SnapshotChunk {
+                    snapshot_id,
+                    epoch,
+                    total_bytes,
+                    chunk,
+                    total_chunks,
+                    crc: crc32(&data),
+                    data,
+                })
+            }
+            other => Ok(other),
+        }
+    }
+}
+
+/// An image that validates chunk-by-chunk but fails whole-image
+/// validation must leave the store untouched (no half-install), fail
+/// that donor, and succeed from a clean one.
+#[test]
+fn corrupt_snapshot_rolls_back_and_fails_over() {
+    let (net, nodes) = seeded_cluster(3);
+    let transport = CorruptingTransport {
+        inner: Arc::clone(&net),
+        corrupt_peer: 0,
+    };
+
+    // Only the corrupting donor available: the whole bootstrap fails…
+    let error = nodes[2]
+        .bootstrap_via(&transport, &[0], &small_chunks())
+        .unwrap_err();
+    assert!(matches!(error, ClusterError::BadPayload(_)), "{error}");
+    // …and the store is exactly as empty as before.
+    assert!(nodes[2].needs_bootstrap());
+    assert!(nodes[2].last_bootstrap().is_none());
+
+    // With a clean donor behind it, bootstrap completes and records
+    // the corrupt one as failed.
+    let report = nodes[2]
+        .bootstrap_via(&transport, &[0, 1], &small_chunks())
+        .unwrap();
+    assert_eq!(report.donor, 1);
+    assert_eq!(report.failed_donors, vec![0]);
+    assert_same_state(&nodes[2], &nodes[1]);
+}
+
+/// Bootstrapping into a store that already holds local state merges
+/// instead of bulk-installing: local keys survive, shipped keys merge
+/// idempotently.
+#[test]
+fn bootstrap_merges_into_nonempty_store() {
+    let (net, nodes) = seeded_cluster(3);
+    nodes[2].store().ingest("local-only", &[42, 43]);
+    assert!(!nodes[2].needs_bootstrap());
+
+    let report = nodes[2]
+        .bootstrap_via(&net, &[0, 1], &small_chunks())
+        .unwrap();
+    assert!(report.merged);
+    assert!(nodes[2].store().contains_key("local-only"));
+    assert!(nodes[2].store().contains_key("stream-0"));
+    assert_eq!(
+        nodes[2].store().get("stream-0"),
+        nodes[0].store().get("stream-0")
+    );
+}
+
+/// The point of shipping a checkpoint: rejoining through bootstrap
+/// moves fewer bytes than a gossip-only rejoin, which pulls the full
+/// state once per peer.
+#[test]
+fn bootstrap_beats_full_pull_on_bytes() {
+    let (net, nodes) = seeded_cluster(4);
+
+    net.reset_stats();
+    nodes[2]
+        .bootstrap_via(&net, &[0, 1], &small_chunks())
+        .unwrap();
+    let bootstrap_bytes = net.stats().total_bytes();
+    let by_kind = net.stats_by_kind();
+    assert!(
+        by_kind.iter().any(|&(kind, _)| kind == "snapshot_request"),
+        "per-kind stats missed the snapshot stream: {by_kind:?}"
+    );
+
+    // A gossip-only rejoin: first sync round of a fresh node pulls
+    // everything from every peer (high-water 0 everywhere).
+    net.reset_stats();
+    for (peer, report) in nodes[3].sync_round(&net) {
+        report.unwrap_or_else(|error| panic!("pull from {peer} failed: {error}"));
+    }
+    let gossip_bytes = net.stats().total_bytes();
+
+    assert_same_state(&nodes[2], &nodes[3]);
+    assert!(
+        bootstrap_bytes < gossip_bytes,
+        "bootstrap moved {bootstrap_bytes} bytes, full-pull rejoin {gossip_bytes}"
+    );
+}

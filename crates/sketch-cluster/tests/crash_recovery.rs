@@ -1,6 +1,10 @@
 //! The whole-system durability story: a live TCP node is SIGKILLed
 //! mid-ingest, restarted from its write-ahead log, and the three-node
-//! cluster reconverges bit-for-bit.
+//! cluster reconverges bit-for-bit. The disk-loss variants go further:
+//! the durable directory itself is destroyed between kill and restart,
+//! so the WAL has nothing to say and the node must rebuild through
+//! checkpoint-shipping bootstrap — including surviving its donor being
+//! SIGKILLed mid-stream.
 //!
 //! The victim runs as a real OS process (this test binary re-executes
 //! itself — see [`crash_child_serve`]) so the kill is a genuine
@@ -13,7 +17,9 @@
 //! merging absorbs.
 
 use setsketch::{SetSketch2, SetSketchConfig};
-use sketch_cluster::{ClusterNode, Message, NodeId, TcpServer, TcpTransport, Transport};
+use sketch_cluster::{
+    BootstrapConfig, ClusterNode, Message, NodeId, Resilient, TcpServer, TcpTransport, Transport,
+};
 use sketch_core::CompactSketch;
 use sketch_rand::mix64;
 use sketch_store::{FsyncPolicy, SketchStore};
@@ -21,8 +27,8 @@ use std::collections::BTreeMap;
 use std::io::{BufRead, BufReader, Write};
 use std::path::{Path, PathBuf};
 use std::process::{Child, ChildStdout, Command, Stdio};
-use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::Arc;
+use std::sync::atomic::{AtomicU32, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
 
 const IDS: [NodeId; 3] = [0, 1, 2];
@@ -89,7 +95,10 @@ impl Drop for Scratch {
 /// directory, serve on an ephemeral port, print `PORT <n>` and
 /// `RECOVERED <records>` lines, learn peers from one `PEERS` stdin
 /// line, gossip until a Shutdown frame (or a SIGKILL) arrives. With
-/// the variable unset — the normal test run — it does nothing.
+/// `CRASH_CHILD_BOOTSTRAP` also set, the gossip thread first
+/// bootstraps from a peer's checkpoint when the store came up empty,
+/// and a `BOOTSTRAP <keys>` line reports the installed key count.
+/// With the variables unset — the normal test run — it does nothing.
 #[test]
 fn crash_child_serve() {
     let Ok(dir) = std::env::var("CRASH_CHILD_DIR") else {
@@ -122,21 +131,51 @@ fn crash_child_serve() {
             format!("127.0.0.1:{port}").parse().expect("addr"),
         );
     }
-    server.start_gossip(Arc::clone(&node), transport, GOSSIP_EVERY);
+    if std::env::var("CRASH_CHILD_BOOTSTRAP").is_ok() {
+        server.start_gossip_with_bootstrap(
+            Arc::clone(&node),
+            Arc::new(Resilient::new(transport)),
+            GOSSIP_EVERY,
+            BootstrapConfig::default(),
+        );
+        // Report once the gossip thread's bootstrap lands (the store
+        // recovered empty, so it always runs one).
+        let report = loop {
+            match node.last_bootstrap() {
+                Some(report) => break report,
+                None => std::thread::sleep(Duration::from_millis(10)),
+            }
+        };
+        println!("BOOTSTRAP {}", report.keys_installed);
+        std::io::stdout().flush().expect("flush bootstrap line");
+    } else {
+        server.start_gossip(Arc::clone(&node), transport, GOSSIP_EVERY);
+    }
     server.wait();
 }
 
 /// Spawns the victim process against `dir` and parses its handshake:
 /// (child, port, records recovered at startup).
 fn spawn_victim(dir: &Path) -> (Child, u16, u64) {
+    spawn_victim_with(dir, false)
+}
+
+/// [`spawn_victim`], optionally in bootstrap mode
+/// (`CRASH_CHILD_BOOTSTRAP`): the child will pull a peer's checkpoint
+/// before gossiping and print a `BOOTSTRAP <keys>` line (read it with
+/// [`read_bootstrap_keys`] after sending the peer map).
+fn spawn_victim_with(dir: &Path, bootstrap: bool) -> (Child, u16, u64) {
     let exe = std::env::current_exe().expect("own path");
-    let mut child = Command::new(&exe)
+    let mut command = Command::new(&exe);
+    command
         .args(["crash_child_serve", "--exact", "--nocapture"])
         .env("CRASH_CHILD_DIR", dir)
         .stdin(Stdio::piped())
-        .stdout(Stdio::piped())
-        .spawn()
-        .expect("spawn victim process");
+        .stdout(Stdio::piped());
+    if bootstrap {
+        command.env("CRASH_CHILD_BOOTSTRAP", "1");
+    }
+    let mut child = command.spawn().expect("spawn victim process");
     let stdout = child.stdout.as_mut().expect("victim stdout");
     let mut reader = BufReader::new(stdout);
     let port = handshake_value(&mut reader, "PORT ").parse().expect("port");
@@ -161,6 +200,18 @@ fn handshake_value(reader: &mut BufReader<&mut ChildStdout>, marker: &str) -> St
             return line[at + marker.len()..].trim().to_owned();
         }
     }
+}
+
+/// Reads the `BOOTSTRAP <keys>` line a bootstrap-mode child prints
+/// after its checkpoint pull lands. Safe to call with a fresh reader:
+/// the line is only emitted after the peer map is sent, so the spawn
+/// handshake's reader cannot have buffered past it.
+fn read_bootstrap_keys(child: &mut Child) -> u64 {
+    let stdout = child.stdout.as_mut().expect("victim stdout");
+    let mut reader = BufReader::new(stdout);
+    handshake_value(&mut reader, "BOOTSTRAP ")
+        .parse()
+        .expect("bootstrap key count")
 }
 
 fn send_peer_map(child: &mut Child, ports: &BTreeMap<NodeId, u16>) {
@@ -306,4 +357,266 @@ fn sigkill_mid_ingest_then_restart_reconverges_bit_for_bit() {
     for server in servers {
         server.shutdown();
     }
+}
+
+/// Expected full state of `reference` as key → compact payload.
+fn expected_state(reference: &SketchStore<SetSketch2>) -> BTreeMap<String, Vec<u8>> {
+    reference
+        .keys()
+        .into_iter()
+        .map(|key| {
+            let payload = reference.get(&key).expect("reference key").compress();
+            (key, payload)
+        })
+        .collect()
+}
+
+/// Polls until every node in `nodes` reports exactly `expected`.
+fn await_convergence(
+    transport: &TcpTransport,
+    nodes: &[NodeId],
+    expected: &BTreeMap<String, Vec<u8>>,
+    what: &str,
+) {
+    let deadline = Instant::now() + Duration::from_secs(60);
+    loop {
+        if nodes
+            .iter()
+            .all(|&node| full_state(transport, node).as_ref() == Some(expected))
+        {
+            return;
+        }
+        assert!(Instant::now() < deadline, "{what}");
+        std::thread::sleep(Duration::from_millis(50));
+    }
+}
+
+/// Total node loss, not just a crash: the victim is SIGKILLed **and
+/// its durable directory destroyed**, so restart recovers nothing and
+/// the WAL cannot help. The replacement node must rebuild itself by
+/// pulling a survivor's checkpoint (bootstrap), then catch the tail
+/// through delta sync — no client replays anything.
+#[test]
+fn disk_loss_then_bootstrap_reconverges_bit_for_bit() {
+    if std::env::var("CRASH_CHILD_DIR").is_ok() {
+        return;
+    }
+    let scratch = Scratch::new();
+    let transport = Arc::new(TcpTransport::new());
+
+    let survivors: Vec<Arc<ClusterNode<SetSketch2>>> = [0, 1]
+        .iter()
+        .map(|&id| Arc::new(ClusterNode::new(id, IDS, plain_store())))
+        .collect();
+    let mut servers: Vec<TcpServer> = survivors
+        .iter()
+        .map(|node| TcpServer::serve(Arc::clone(node), "127.0.0.1:0").expect("bind survivor"))
+        .collect();
+    let mut ports: BTreeMap<NodeId, u16> = BTreeMap::new();
+    for (node, server) in survivors.iter().zip(&servers) {
+        ports.insert(node.id(), server.local_addr().port());
+        transport.add_peer(node.id(), server.local_addr());
+    }
+
+    let (mut victim, victim_port, recovered) = spawn_victim(&scratch.0);
+    assert_eq!(recovered, 0, "fresh durable dir must recover nothing");
+    ports.insert(VICTIM, victim_port);
+    transport.add_peer(VICTIM, format!("127.0.0.1:{victim_port}").parse().unwrap());
+    send_peer_map(&mut victim, &ports);
+    for (node, server) in survivors.iter().zip(servers.iter_mut()) {
+        server.start_gossip(Arc::clone(node), Arc::clone(&transport), GOSSIP_EVERY);
+    }
+
+    // Ingest at the victim; every op must ack (no kill yet).
+    let reference = plain_store();
+    for op in 0..OPS {
+        reference.ingest(&op_key(op), &op_elements(op));
+        let request = Message::Ingest {
+            key: op_key(op),
+            elements: op_elements(op),
+        };
+        match transport.request(VICTIM, &request) {
+            Ok(Message::Ack) => {}
+            other => panic!("op {op} refused: {other:?}"),
+        }
+    }
+    let expected = expected_state(&reference);
+    // Wait until the survivors replicated everything — they are about
+    // to become the only copy in existence.
+    await_convergence(
+        &transport,
+        &[0, 1],
+        &expected,
+        "survivors failed to replicate before the disk loss",
+    );
+
+    // SIGKILL, then destroy the durable directory outright.
+    victim.kill().expect("SIGKILL victim");
+    victim.wait().expect("reap killed victim");
+    std::fs::remove_dir_all(&scratch.0).expect("wipe durable dir");
+    std::fs::create_dir_all(&scratch.0).expect("recreate durable dir");
+
+    // The replacement recovers nothing and must bootstrap.
+    let (mut victim, victim_port, recovered) = spawn_victim_with(&scratch.0, true);
+    assert_eq!(recovered, 0, "wiped dir must recover nothing");
+    ports.insert(VICTIM, victim_port);
+    transport.add_peer(VICTIM, format!("127.0.0.1:{victim_port}").parse().unwrap());
+    send_peer_map(&mut victim, &ports);
+    let bootstrapped = read_bootstrap_keys(&mut victim);
+    assert_eq!(
+        bootstrapped, KEYS,
+        "bootstrap must ship every key the survivors hold"
+    );
+
+    // Bit-for-bit reconvergence of all three replicas, with no client
+    // re-sending a single op.
+    await_convergence(
+        &transport,
+        &IDS,
+        &expected,
+        "cluster failed to reconverge after total disk loss",
+    );
+
+    match transport.request(VICTIM, &Message::Shutdown) {
+        Ok(Message::Ack) => {}
+        other => panic!("victim refused shutdown: {other:?}"),
+    }
+    let status = victim.wait().expect("victim exits");
+    assert!(status.success(), "victim exited with {status}");
+    for server in servers {
+        server.shutdown();
+    }
+}
+
+/// A transport wrapper that SIGKILLs the donor process after a fixed
+/// number of snapshot chunks have streamed from it — a genuinely dead
+/// donor mid-transfer, not a simulated error.
+struct KillSwitch {
+    inner: Arc<TcpTransport>,
+    donor: NodeId,
+    child: Mutex<Child>,
+    kill_after: u32,
+    chunks_seen: AtomicU32,
+}
+
+impl Transport for KillSwitch {
+    fn request(
+        &self,
+        peer: NodeId,
+        message: &Message,
+    ) -> Result<Message, sketch_cluster::ClusterError> {
+        let response = self.inner.request(peer, message)?;
+        if peer == self.donor && matches!(response, Message::SnapshotChunk { .. }) {
+            let seen = self.chunks_seen.fetch_add(1, Ordering::SeqCst) + 1;
+            if seen == self.kill_after {
+                self.child
+                    .lock()
+                    .expect("kill switch lock")
+                    .kill()
+                    .expect("SIGKILL donor mid-stream");
+            }
+        }
+        Ok(response)
+    }
+}
+
+/// Donor failover under real process death: a wiped node starts
+/// bootstrapping from the durable child, the child is SIGKILLed
+/// mid-stream, and the bootstrap completes from the second donor —
+/// ending bit-for-bit on the surviving replica's state.
+#[test]
+fn donor_sigkill_mid_stream_fails_over() {
+    if std::env::var("CRASH_CHILD_DIR").is_ok() {
+        return;
+    }
+    let scratch = Scratch::new();
+    let transport = Arc::new(TcpTransport::new());
+
+    // One in-process survivor (the fallback donor) and the durable
+    // child (the first donor).
+    let survivor = Arc::new(ClusterNode::new(0, IDS, plain_store()));
+    let server = TcpServer::serve(Arc::clone(&survivor), "127.0.0.1:0").expect("bind survivor");
+    let mut ports: BTreeMap<NodeId, u16> = BTreeMap::new();
+    ports.insert(0, server.local_addr().port());
+    transport.add_peer(0, server.local_addr());
+
+    let (mut victim, victim_port, _) = spawn_victim(&scratch.0);
+    ports.insert(VICTIM, victim_port);
+    transport.add_peer(VICTIM, format!("127.0.0.1:{victim_port}").parse().unwrap());
+    send_peer_map(&mut victim, &ports);
+
+    // Both donors must hold the full state before the transfer starts.
+    for op in 0..OPS {
+        let request = Message::Ingest {
+            key: op_key(op),
+            elements: op_elements(op),
+        };
+        match transport.request(VICTIM, &request) {
+            Ok(Message::Ack) => {}
+            other => panic!("op {op} refused: {other:?}"),
+        }
+    }
+    let expected = match full_state(&transport, VICTIM) {
+        Some(state) => state,
+        None => panic!("donor state unreadable"),
+    };
+    let deadline = Instant::now() + Duration::from_secs(60);
+    while survivor
+        .sync_with(transport.as_ref(), VICTIM)
+        .map(|report| report.keys_received)
+        .unwrap_or(usize::MAX)
+        != 0
+    {
+        assert!(Instant::now() < deadline, "survivor never caught up");
+        std::thread::sleep(Duration::from_millis(20));
+    }
+
+    // The replacement node bootstraps in-process, donors ordered so
+    // the doomed child streams first.
+    let replacement = ClusterNode::new(1, IDS, plain_store());
+    let kill_switch = KillSwitch {
+        inner: Arc::clone(&transport),
+        donor: VICTIM,
+        child: Mutex::new(victim),
+        kill_after: 2,
+        chunks_seen: AtomicU32::new(0),
+    };
+    let config = BootstrapConfig {
+        chunk_bytes: 4096,
+        ..BootstrapConfig::default()
+    };
+    let report = replacement
+        .bootstrap_via(&kill_switch, &[VICTIM, 0], &config)
+        .unwrap();
+    assert_eq!(report.donor, 0, "bootstrap must fail over to the survivor");
+    assert_eq!(report.failed_donors, vec![VICTIM]);
+    assert_eq!(
+        kill_switch.chunks_seen.load(Ordering::SeqCst),
+        2,
+        "the donor died before streaming the expected chunks"
+    );
+
+    // The installed state matches the reference bit-for-bit.
+    let installed: BTreeMap<String, Vec<u8>> = replacement
+        .store()
+        .keys()
+        .into_iter()
+        .map(|key| {
+            let payload = replacement
+                .store()
+                .get(&key)
+                .expect("installed key")
+                .compress();
+            (key, payload)
+        })
+        .collect();
+    assert_eq!(installed, expected);
+
+    kill_switch
+        .child
+        .into_inner()
+        .expect("reap lock")
+        .wait()
+        .expect("reap killed donor");
+    server.shutdown();
 }

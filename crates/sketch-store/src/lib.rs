@@ -61,6 +61,13 @@
 //!   back bit-for-bit — truncating torn tails and quarantining
 //!   bit-rotted records into a typed [`RecoveryReport`] instead of
 //!   panicking;
+//! * **checkpoint shipping** — [`SketchStore::export_checkpoint`]
+//!   images the whole store in the checkpoint file format (served from
+//!   the newest on-disk checkpoint when it is fresh enough — see
+//!   [`SketchStore::latest_checkpoint_meta`] — swept live otherwise)
+//!   and [`SketchStore::install_checkpoint`] validates a shipped image
+//!   in full before installing it all-or-nothing: the store-side
+//!   substrate of `sketch-cluster`'s node bootstrap;
 //! * **similarity queries at scale** — [`SketchStore::similar_keys`]
 //!   (top-k) and [`SketchStore::all_pairs`] (threshold sweep) prune
 //!   candidates through an incrementally maintained banding LSH index
@@ -151,7 +158,7 @@ pub use query::{
 pub use snapshot::{SnapshotEntry, StoreSnapshot};
 pub use store::{SketchStore, DEFAULT_SHARDS};
 pub use tier::TierStats;
-pub use wal::{FsyncPolicy, RecoveryReport};
+pub use wal::{CheckpointInstall, CheckpointMeta, ExportedCheckpoint, FsyncPolicy, RecoveryReport};
 
 // Downstream convenience: the traits a store-bound sketch implements,
 // the joint-estimation result type, and the banding layout the

@@ -1,4 +1,15 @@
 //! Point-in-time store snapshots and their serialization.
+//!
+//! A [`StoreSnapshot`] is the *in-process* snapshot shape: typed
+//! entries, serde round-trips, rebuilt with
+//! [`SketchStore::from_snapshot`](crate::SketchStore::from_snapshot).
+//! For shipping a whole store **between processes** — node bootstrap —
+//! use the byte-level checkpoint image instead
+//! ([`SketchStore::export_checkpoint`](crate::SketchStore::export_checkpoint)
+//! /
+//! [`SketchStore::install_checkpoint`](crate::SketchStore::install_checkpoint)):
+//! it shares the durable checkpoint file format, CRC-frames every
+//! entry, and installs all-or-nothing into an existing store.
 
 use std::collections::BTreeMap;
 

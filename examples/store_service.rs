@@ -2,10 +2,16 @@
 //!
 //! Run with `cargo run --release --example store_service`. The parent
 //! process re-spawns itself three times (`store_service node <id>`);
-//! each child binds a TCP server on an ephemeral loopback port, prints
+//! each child recovers a durable store from its own scratch directory
+//! (logging the [`sketch_store::RecoveryReport`] to stderr on
+//! startup), binds a TCP server on an ephemeral loopback port, prints
 //! `PORT <n>`, learns its peers' addresses over stdin, and gossips:
 //! version-pruned delta pulls plus a rotating full anti-entropy pull,
-//! every 50 ms. The parent then acts as the client:
+//! every 50 ms. A node that comes up *empty* first pulls a peer's
+//! checkpoint image (checkpoint-shipping bootstrap) and logs the
+//! resulting [`sketch_cluster::BootstrapReport`] — the same path a
+//! wiped replacement node takes in production. The parent then acts
+//! as the client:
 //!
 //! 1. **Routed writes** — each tenant's events go to the tenant's
 //!    consistent-hash owner only, as length-prefixed `Ingest` frames.
@@ -25,7 +31,8 @@
 
 use setsketch::{SetSketch2, SetSketchConfig};
 use sketch_cluster::{
-    ClusterClient, ClusterNode, HashRing, Message, NodeId, TcpServer, TcpTransport, Transport,
+    BootstrapConfig, ClusterClient, ClusterNode, HashRing, Message, NodeId, Resilient, TcpServer,
+    TcpTransport, Transport,
 };
 use sketch_core::CompactSketch;
 use sketch_rand::mix64;
@@ -33,6 +40,7 @@ use sketch_store::SketchStore;
 use std::collections::BTreeMap;
 use std::io::{BufRead, BufReader, Write};
 use std::net::SocketAddr;
+use std::path::Path;
 use std::process::{Child, Command, Stdio};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
@@ -50,6 +58,16 @@ fn store() -> SketchStore<SetSketch2> {
     let config = config();
     SketchStore::builder(move || SetSketch2::new(config, 42))
         .shards(8)
+        .build()
+}
+
+/// A durable replica store: write-ahead logged into `dir`, recovered
+/// from whatever the directory already holds.
+fn durable_store(dir: &Path) -> SketchStore<SetSketch2> {
+    let config = config();
+    SketchStore::builder(move || SetSketch2::new(config, 42))
+        .shards(8)
+        .durable_dir(dir)
         .build()
 }
 
@@ -73,8 +91,20 @@ fn main() {
 // --- Child: one replica process. ------------------------------------
 
 fn run_node(id: NodeId) {
+    // Each replica owns a scratch durable directory; a restart from
+    // the same directory would replay the log, a wiped one bootstraps.
+    let dir =
+        std::env::temp_dir().join(format!("sketch-store-service-{}-{id}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("create durable dir");
+    let store = durable_store(&dir);
+    let report = store
+        .recovery_report()
+        .expect("durable store has a report")
+        .clone();
+    eprintln!("node {id}: recovery: {report}");
+
     let peers: Vec<NodeId> = (0..NODES).collect();
-    let node = Arc::new(ClusterNode::new(id, peers, store()));
+    let node = Arc::new(ClusterNode::new(id, peers, store));
     let mut server = TcpServer::serve(Arc::clone(&node), "127.0.0.1:0").expect("bind loopback");
 
     // Handshake: tell the parent our port, learn everyone else's.
@@ -97,9 +127,27 @@ fn run_node(id: NodeId) {
         transport.add_peer(peer, addr);
     }
 
-    // Gossip in the background; park until a Shutdown frame arrives.
-    server.start_gossip(Arc::clone(&node), transport, GOSSIP_EVERY);
+    // Gossip in the background — with the bootstrap preamble, so an
+    // empty store first ships a peer's checkpoint — and park until a
+    // Shutdown frame arrives. A watcher logs the bootstrap report the
+    // moment the preamble completes.
+    let resilient = Arc::new(Resilient::new(transport));
+    server.start_gossip_with_bootstrap(
+        Arc::clone(&node),
+        Arc::clone(&resilient),
+        GOSSIP_EVERY,
+        BootstrapConfig::default(),
+    );
+    let watched = Arc::clone(&node);
+    std::thread::spawn(move || loop {
+        if let Some(report) = watched.last_bootstrap() {
+            eprintln!("node {id}: {report}");
+            return;
+        }
+        std::thread::sleep(GOSSIP_EVERY);
+    });
     server.wait();
+    let _ = std::fs::remove_dir_all(&dir);
 }
 
 // --- Parent: spawn, ingest, verify, query, shut down. ---------------
