@@ -1,0 +1,238 @@
+//! Budgeted banding layouts across heterogeneous clusters.
+//!
+//! A clustered ANN index keeps one small banding per cluster of keys,
+//! tuned to that cluster's *local* collision probability — dense
+//! clusters afford more rows per band (selectivity), sparse clusters
+//! need more permissive layouts. The planner here turns a set of
+//! per-cluster loads into concrete [`Banding`]s under one total memory
+//! budget: every cluster starts at the layout [`Banding::tune`] picks
+//! for its local probability, and while the fleet exceeds the budget
+//! the most expensive cluster's band count is walked down (keeping the
+//! most selective rows that fit), trading recall for memory where it
+//! costs the least. Achieved recall is reported per cluster so the
+//! router upstream can compensate by probing more clusters.
+
+use crate::banding::Banding;
+use crate::index::collision_curve;
+
+/// Approximate resident cost of one (band, key) index entry: the bucket
+/// hash (`u64`), a shared pointer to the key and amortized hash-map
+/// overhead. A model constant for planning, not an exact accounting —
+/// budgets are targets, not hard caps.
+pub const BAND_ENTRY_BYTES: usize = 48;
+
+/// One cluster's banding inputs: how many keys it holds and the
+/// per-register collision probability its banding should be tuned at
+/// (the family's curve evaluated at the cluster's effective threshold).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ClusterLoad {
+    /// Keys currently assigned to the cluster.
+    pub keys: usize,
+    /// Per-register collision probability at the cluster's effective
+    /// similarity threshold.
+    pub collision_p: f64,
+}
+
+/// The planned layout of one cluster.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BandingPlan {
+    /// The layout, or `None` when no banding reaches any useful recall
+    /// at the cluster's collision probability (the cluster is then
+    /// probed exhaustively).
+    pub banding: Option<Banding>,
+    /// Candidate probability the layout delivers at the cluster's
+    /// collision probability (1.0 for exhaustive clusters — every pair
+    /// is a candidate by construction).
+    pub recall: f64,
+}
+
+impl BandingPlan {
+    /// Index memory the plan costs for `keys` members, under the
+    /// [`BAND_ENTRY_BYTES`] model.
+    pub fn cost_bytes(&self, keys: usize) -> usize {
+        self.banding
+            .map_or(0, |banding| banding.bands * keys * BAND_ENTRY_BYTES)
+    }
+}
+
+/// Plans one banding per cluster over `m`-register signatures, tuned at
+/// each cluster's collision probability toward `recall_target`, with
+/// the fleet's total index memory held near `budget_bytes` (pass `None`
+/// for unbudgeted planning — every cluster gets its ideal layout).
+///
+/// Degradation under pressure is deterministic and local: while the
+/// fleet exceeds the budget, the cluster with the largest modeled cost
+/// has its band count reduced by a quarter (re-tuned to the most
+/// selective rows that still fit those bands), floored at one band.
+/// When every cluster is at the floor the loop stops — the budget is a
+/// target, and one band per cluster is the cheapest index that still
+/// prunes.
+///
+/// # Panics
+/// Panics if `recall_target` is outside `(0, 1]`.
+pub fn plan_bandings(
+    m: usize,
+    recall_target: f64,
+    budget_bytes: Option<usize>,
+    clusters: &[ClusterLoad],
+) -> Vec<BandingPlan> {
+    assert!(
+        recall_target > 0.0 && recall_target <= 1.0,
+        "recall target must be within (0, 1], got {recall_target}"
+    );
+    let mut plans: Vec<BandingPlan> = clusters
+        .iter()
+        .map(|load| {
+            let banding = Banding::tune(m, load.collision_p, recall_target);
+            BandingPlan {
+                recall: banding.map_or(1.0, |b| b.recall_at(load.collision_p)),
+                banding,
+            }
+        })
+        .collect();
+    let Some(budget) = budget_bytes else {
+        return plans;
+    };
+    loop {
+        let total: usize = plans
+            .iter()
+            .zip(clusters)
+            .map(|(plan, load)| plan.cost_bytes(load.keys))
+            .sum();
+        if total <= budget {
+            break;
+        }
+        // Shrink where it buys the most bytes back.
+        let Some((at, _)) = plans
+            .iter()
+            .zip(clusters)
+            .enumerate()
+            .filter(|(_, (plan, _))| plan.banding.is_some_and(|b| b.bands > 1))
+            .max_by_key(|(_, (plan, load))| plan.cost_bytes(load.keys))
+        else {
+            break; // every cluster already at the one-band floor
+        };
+        let plan = &mut plans[at];
+        let banding = plan.banding.expect("filtered on Some above");
+        let max_bands = (banding.bands - banding.bands.div_ceil(4)).max(1);
+        *plan = capped_plan(m, clusters[at].collision_p, max_bands);
+    }
+    plans
+}
+
+/// The most selective banding using at most `max_bands` bands over `m`
+/// registers, scored at collision probability `p`: rows are maximized
+/// first (selectivity), then recall is whatever the layout delivers —
+/// under budget pressure the recall target is no longer attainable, so
+/// the plan reports the achieved value instead.
+fn capped_plan(m: usize, p: f64, max_bands: usize) -> BandingPlan {
+    debug_assert!(max_bands >= 1);
+    // Rows large enough that max_bands bands fit in m registers; pick
+    // the largest rows whose recall loss stays within a factor of the
+    // single-band curve (monotone: more rows, less recall). The planner
+    // keeps rows from the unconstrained tuning's neighborhood by taking
+    // the best recall among the feasible most-selective layouts.
+    let rows_floor = m / max_bands.min(m);
+    let rows = rows_floor.clamp(1, m);
+    let bands = (m / rows).min(max_bands).max(1);
+    let banding = Banding { bands, rows };
+    BandingPlan {
+        recall: collision_curve(p, bands, rows),
+        banding: Some(banding),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unbudgeted_plans_match_tune() {
+        let clusters = [
+            ClusterLoad {
+                keys: 100,
+                collision_p: 0.5,
+            },
+            ClusterLoad {
+                keys: 10,
+                collision_p: 0.9,
+            },
+        ];
+        let plans = plan_bandings(256, 0.98, None, &clusters);
+        assert_eq!(plans[0].banding, Banding::tune(256, 0.5, 0.98));
+        assert_eq!(plans[1].banding, Banding::tune(256, 0.9, 0.98));
+        // The dense cluster's layout is more selective (more rows).
+        assert!(plans[1].banding.unwrap().rows > plans[0].banding.unwrap().rows);
+        for plan in &plans {
+            assert!(plan.recall >= 0.98);
+        }
+    }
+
+    #[test]
+    fn untunable_cluster_reports_exhaustive() {
+        let plans = plan_bandings(
+            256,
+            0.95,
+            None,
+            &[ClusterLoad {
+                keys: 50,
+                collision_p: 0.0,
+            }],
+        );
+        assert_eq!(plans[0].banding, None);
+        assert_eq!(plans[0].recall, 1.0);
+        assert_eq!(plans[0].cost_bytes(50), 0);
+    }
+
+    #[test]
+    fn budget_pressure_shrinks_the_most_expensive_cluster() {
+        let clusters = [
+            ClusterLoad {
+                keys: 10_000,
+                collision_p: 0.5,
+            },
+            ClusterLoad {
+                keys: 20,
+                collision_p: 0.5,
+            },
+        ];
+        let free = plan_bandings(256, 0.98, None, &clusters);
+        let free_cost: usize = free
+            .iter()
+            .zip(&clusters)
+            .map(|(p, l)| p.cost_bytes(l.keys))
+            .sum();
+        let budget = free_cost / 3;
+        let plans = plan_bandings(256, 0.98, Some(budget), &clusters);
+        let total: usize = plans
+            .iter()
+            .zip(&clusters)
+            .map(|(p, l)| p.cost_bytes(l.keys))
+            .sum();
+        assert!(total <= budget, "total {total} > budget {budget}");
+        // The big cluster shrank; the small one kept its ideal layout.
+        assert!(plans[0].banding.unwrap().bands < free[0].banding.unwrap().bands);
+        assert_eq!(plans[1].banding, free[1].banding);
+        // Degraded recall is reported honestly.
+        assert!(plans[0].recall < 0.98);
+        assert!(plans[0].recall > 0.0);
+    }
+
+    #[test]
+    fn impossible_budget_floors_at_one_band() {
+        let clusters = [ClusterLoad {
+            keys: 1000,
+            collision_p: 0.6,
+        }];
+        let plans = plan_bandings(256, 0.98, Some(1), &clusters);
+        let banding = plans[0].banding.unwrap();
+        assert_eq!(banding.bands, 1);
+        assert!(banding.rows >= 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "recall target")]
+    fn rejects_bad_recall_target() {
+        plan_bandings(256, 0.0, None, &[]);
+    }
+}

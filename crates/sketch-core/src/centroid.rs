@@ -1,0 +1,241 @@
+//! Signature-space geometry: estimated Jaccard distances between
+//! register signatures and centroid construction over groups of them.
+//!
+//! The paper's §3.3 locality property makes a sketch's register
+//! signature a metric-friendly object: the fraction of equal registers
+//! `D₀/m` between two compatible sketches estimates (through the
+//! family's collision-probability curve) the Jaccard similarity of the
+//! underlying sets, and `1 − J` is a true metric (the Jaccard
+//! distance). Clustering layers — the store's clustered ANN index —
+//! need exactly two operations over that space: a **distance** between
+//! two signatures, and a **centroid** summarizing a group of them. Both
+//! live here so every consumer agrees on the same geometry.
+//!
+//! Distances go through a precomputed inversion table of the family's
+//! collision-probability curve (`jaccard_by_d0[d0]` = the Jaccard at
+//! which a `d0/m` register-collision fraction is expected — see
+//! [`crate::invert_collision_probability`]), so a distance costs one
+//! vectorized register comparison and one table lookup.
+
+use sketch_math::JointCounts;
+
+/// Fraction of register positions where the two signatures agree
+/// (`D₀/m`), computed with the vectorized three-way comparison kernel.
+/// An empty signature pair agrees fully (fraction 1).
+///
+/// # Panics
+/// Panics if the signatures differ in length (incompatible
+/// configurations).
+pub fn collision_fraction(a: &[u32], b: &[u32]) -> f64 {
+    assert_eq!(
+        a.len(),
+        b.len(),
+        "signatures differ in length: {} vs {}",
+        a.len(),
+        b.len()
+    );
+    if a.is_empty() {
+        return 1.0;
+    }
+    let counts = JointCounts::from_u32(a, b);
+    counts.d0 as f64 / a.len() as f64
+}
+
+/// Estimated Jaccard similarity of the sets behind two signatures: the
+/// observed collision count `D₀` looked up in the family's inverted
+/// collision-probability table (`jaccard_by_d0.len() == m + 1`, as
+/// produced by tabulating [`crate::invert_collision_probability`] over
+/// all possible `D₀` values).
+///
+/// # Panics
+/// Panics if the signatures differ in length or the table does not
+/// cover `m + 1` collision counts.
+pub fn estimated_jaccard(a: &[u32], b: &[u32], jaccard_by_d0: &[f64]) -> f64 {
+    assert_eq!(
+        jaccard_by_d0.len(),
+        a.len() + 1,
+        "inversion table covers {} collision counts, signature length {} needs {}",
+        jaccard_by_d0.len(),
+        a.len(),
+        a.len() + 1
+    );
+    if a.is_empty() {
+        return 0.0;
+    }
+    assert_eq!(
+        a.len(),
+        b.len(),
+        "signatures differ in length: {} vs {}",
+        a.len(),
+        b.len()
+    );
+    let counts = JointCounts::from_u32(a, b);
+    jaccard_by_d0[counts.d0 as usize]
+}
+
+/// Estimated Jaccard **distance** `1 − Ĵ` between two signatures — the
+/// metric the clustered index's k-center seeding and query routing
+/// operate in (Jaccard distance satisfies the triangle inequality; the
+/// estimate inherits it up to estimation noise).
+///
+/// # Panics
+/// As [`estimated_jaccard`].
+pub fn signature_distance(a: &[u32], b: &[u32], jaccard_by_d0: &[f64]) -> f64 {
+    1.0 - estimated_jaccard(a, b, jaccard_by_d0)
+}
+
+/// Accumulates register signatures and produces their per-register
+/// **mode** (majority vote) — the centroid that maximizes expected
+/// register agreement with the group, which is the quantity banding
+/// collisions are driven by. Ties break toward the smallest register
+/// value, so the centroid is deterministic regardless of push order.
+///
+/// ```
+/// use sketch_core::centroid::CentroidAccumulator;
+///
+/// let mut acc = CentroidAccumulator::new(3);
+/// acc.push(&[1, 5, 9]);
+/// acc.push(&[1, 5, 7]);
+/// acc.push(&[1, 6, 7]);
+/// assert_eq!(acc.centroid(), vec![1, 5, 7]);
+/// ```
+#[derive(Debug, Clone)]
+pub struct CentroidAccumulator {
+    /// One `(value, count)` tally per register position, kept sorted by
+    /// value (signatures over a group of similar sketches concentrate
+    /// on a handful of values per position, so a sorted Vec beats a
+    /// hash map here).
+    tallies: Vec<Vec<(u32, u32)>>,
+    pushed: usize,
+}
+
+impl CentroidAccumulator {
+    /// An empty accumulator for signatures of `len` registers.
+    pub fn new(len: usize) -> Self {
+        CentroidAccumulator {
+            tallies: vec![Vec::new(); len],
+            pushed: 0,
+        }
+    }
+
+    /// Number of signatures accumulated so far.
+    pub fn len(&self) -> usize {
+        self.pushed
+    }
+
+    /// True if nothing has been pushed.
+    pub fn is_empty(&self) -> bool {
+        self.pushed == 0
+    }
+
+    /// Tallies one signature into the accumulator.
+    ///
+    /// # Panics
+    /// Panics if the signature length differs from the accumulator's.
+    pub fn push(&mut self, signature: &[u32]) {
+        assert_eq!(
+            signature.len(),
+            self.tallies.len(),
+            "signature has {} registers, accumulator expects {}",
+            signature.len(),
+            self.tallies.len()
+        );
+        for (tally, &value) in self.tallies.iter_mut().zip(signature) {
+            match tally.binary_search_by_key(&value, |&(v, _)| v) {
+                Ok(at) => tally[at].1 += 1,
+                Err(at) => tally.insert(at, (value, 1)),
+            }
+        }
+        self.pushed += 1;
+    }
+
+    /// The per-register mode over everything pushed (ties toward the
+    /// smallest value; zero for positions never pushed).
+    pub fn centroid(&self) -> Vec<u32> {
+        self.tallies
+            .iter()
+            .map(|tally| {
+                tally
+                    .iter()
+                    // max_by_key keeps the *last* maximum; tallies are
+                    // sorted ascending by value, so prefer-strictly-
+                    // greater keeps the smallest value on count ties.
+                    .fold((0u32, 0u32), |best, &(value, count)| {
+                        if count > best.1 {
+                            (value, count)
+                        } else {
+                            best
+                        }
+                    })
+                    .0
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Identity collision curve (MinHash): table[d0] = d0/m.
+    fn identity_table(m: usize) -> Vec<f64> {
+        (0..=m).map(|d0| d0 as f64 / m as f64).collect()
+    }
+
+    #[test]
+    fn collision_fraction_counts_matches() {
+        assert_eq!(collision_fraction(&[1, 2, 3, 4], &[1, 2, 3, 4]), 1.0);
+        assert_eq!(collision_fraction(&[1, 2, 3, 4], &[1, 2, 9, 9]), 0.5);
+        assert_eq!(collision_fraction(&[], &[]), 1.0);
+    }
+
+    #[test]
+    fn estimated_jaccard_reads_the_table() {
+        let table = identity_table(4);
+        assert_eq!(estimated_jaccard(&[1, 2, 3, 4], &[1, 2, 3, 4], &table), 1.0);
+        assert_eq!(estimated_jaccard(&[1, 2, 3, 4], &[1, 2, 9, 9], &table), 0.5);
+        assert_eq!(
+            signature_distance(&[1, 2, 3, 4], &[9, 9, 9, 9], &table),
+            1.0
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "differ in length")]
+    fn mismatched_lengths_panic() {
+        collision_fraction(&[1, 2], &[1, 2, 3]);
+    }
+
+    #[test]
+    #[should_panic(expected = "inversion table")]
+    fn short_table_panics() {
+        estimated_jaccard(&[1, 2, 3], &[1, 2, 3], &[0.0, 1.0]);
+    }
+
+    #[test]
+    fn centroid_is_per_register_mode_with_deterministic_ties() {
+        let mut acc = CentroidAccumulator::new(2);
+        // Register 0: two 7s, one 3 => 7. Register 1: tie 1 vs 2 => 1.
+        acc.push(&[7, 1]);
+        acc.push(&[7, 2]);
+        acc.push(&[3, 1]);
+        acc.push(&[3, 2]);
+        acc.push(&[7, 9]);
+        assert_eq!(acc.centroid(), vec![7, 1]);
+        assert_eq!(acc.len(), 5);
+
+        // Push order cannot change the result.
+        let mut reversed = CentroidAccumulator::new(2);
+        for sig in [[7, 9], [3, 2], [3, 1], [7, 2], [7, 1]] {
+            reversed.push(&sig);
+        }
+        assert_eq!(reversed.centroid(), acc.centroid());
+    }
+
+    #[test]
+    fn empty_accumulator_yields_zero_signature() {
+        let acc = CentroidAccumulator::new(3);
+        assert!(acc.is_empty());
+        assert_eq!(acc.centroid(), vec![0, 0, 0]);
+    }
+}

@@ -23,7 +23,10 @@
 //!   intersection, union, …) returning the full [`JointQuantities`];
 //! * [`CompactSketch`] — lossless compressed byte representations, the
 //!   contract behind the sketch store's warm/frozen memory tiers
-//!   ([`compact`] module).
+//!   ([`compact`] module);
+//! * [`centroid`] — signature-space geometry (estimated Jaccard
+//!   distance between register signatures, per-register-mode
+//!   centroids), the substrate of the store's clustered ANN index.
 //!
 //! The traits are implemented by `SetSketch1`/`SetSketch2`, the GHLL
 //! sketch (HyperLogLog), the MinHash family (`MinHash`, `SuperMinHash`,
@@ -99,8 +102,10 @@
 
 #![warn(missing_docs)]
 
+pub mod centroid;
 pub mod compact;
 
+pub use centroid::{collision_fraction, estimated_jaccard, signature_distance};
 pub use compact::CompactSketch;
 #[cfg(feature = "serde")]
 pub use compact::{serde_compress, serde_decompress, SerdeCompactError};

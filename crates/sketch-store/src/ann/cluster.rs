@@ -1,0 +1,189 @@
+//! Greedy farthest-point k-center over register signatures.
+//!
+//! Jaccard distance is a true metric, so the classic Gonzalez
+//! farthest-point heuristic applies to signature space: pick the first
+//! key as seed, then repeatedly promote the key farthest from every
+//! chosen center. The result is a 2-approximation of the optimal
+//! k-center radius — good enough to give routing tight
+//! triangle-inequality bounds — and fully deterministic for a fixed
+//! input order (the store feeds keys sorted).
+
+use sketch_core::centroid::{signature_distance, CentroidAccumulator};
+
+/// Where each input signature landed after seeding: `assignment[i]` is
+/// the cluster of signature `i`, `distance[i]` its distance to that
+/// cluster's (refined) centroid, `centroids[c]` the per-register mode
+/// of cluster `c`'s members, and `radius[c]` the cluster's max member
+/// distance.
+pub(crate) struct Clustering {
+    pub(crate) centroids: Vec<Vec<u32>>,
+    pub(crate) assignment: Vec<usize>,
+    pub(crate) distance: Vec<f64>,
+    pub(crate) radius: Vec<f64>,
+}
+
+/// Clusters `signatures` into at most `k` groups (fewer when duplicates
+/// collapse the far-point pool early). Seeds with greedy farthest-point
+/// over `signature_distance`, then refines each center to the
+/// per-register mode of its members and re-assigns once against the
+/// refined centroids — the mode maximizes expected register agreement,
+/// which is what per-cluster bandings collide on.
+///
+/// # Panics
+/// Panics if `signatures` is empty or `k` is zero.
+pub(crate) fn k_center(signatures: &[Vec<u32>], k: usize, jaccard_by_d0: &[f64]) -> Clustering {
+    assert!(!signatures.is_empty(), "cannot cluster zero signatures");
+    assert!(k > 0, "cluster count must be at least 1");
+    let k = k.min(signatures.len());
+
+    // Gonzalez seeding: start from the first signature, repeatedly
+    // promote the farthest unassigned point to a new center.
+    let mut centers = vec![0usize];
+    let mut assignment = vec![0usize; signatures.len()];
+    let mut distance: Vec<f64> = signatures
+        .iter()
+        .map(|sig| signature_distance(&signatures[0], sig, jaccard_by_d0))
+        .collect();
+    while centers.len() < k {
+        let (far, far_distance) =
+            distance
+                .iter()
+                .enumerate()
+                .fold(
+                    (0usize, f64::MIN),
+                    |best, (at, &d)| {
+                        if d > best.1 {
+                            (at, d)
+                        } else {
+                            best
+                        }
+                    },
+                );
+        if far_distance <= 0.0 {
+            break; // every remaining point coincides with a center
+        }
+        let cluster = centers.len();
+        centers.push(far);
+        for (at, sig) in signatures.iter().enumerate() {
+            let d = signature_distance(&signatures[far], sig, jaccard_by_d0);
+            if d < distance[at] {
+                distance[at] = d;
+                assignment[at] = cluster;
+            }
+        }
+    }
+
+    // Refine: replace each seed signature by its members' per-register
+    // mode, then re-assign once against the refined centroids. A single
+    // Lloyd-style pass tightens radii without risking the oscillation
+    // of full iteration.
+    let mut accumulators: Vec<CentroidAccumulator> = centers
+        .iter()
+        .map(|_| CentroidAccumulator::new(signatures[0].len()))
+        .collect();
+    for (sig, &cluster) in signatures.iter().zip(&assignment) {
+        accumulators[cluster].push(sig);
+    }
+    let centroids: Vec<Vec<u32>> = accumulators
+        .iter()
+        .map(CentroidAccumulator::centroid)
+        .collect();
+    let mut radius = vec![0.0f64; centroids.len()];
+    for (at, sig) in signatures.iter().enumerate() {
+        let (best, best_distance) = centroids.iter().enumerate().fold(
+            (assignment[at], f64::MAX),
+            |best, (cluster, centroid)| {
+                let d = signature_distance(centroid, sig, jaccard_by_d0);
+                if d < best.1 {
+                    (cluster, d)
+                } else {
+                    best
+                }
+            },
+        );
+        assignment[at] = best;
+        distance[at] = best_distance;
+        radius[best] = radius[best].max(best_distance);
+    }
+    Clustering {
+        centroids,
+        assignment,
+        distance,
+        radius,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Identity collision curve: table[d0] = d0/m (MinHash-like).
+    fn identity_table(m: usize) -> Vec<f64> {
+        (0..=m).map(|d0| d0 as f64 / m as f64).collect()
+    }
+
+    fn block_signature(m: usize, value: u32) -> Vec<u32> {
+        vec![value; m]
+    }
+
+    #[test]
+    fn separates_well_spread_groups() {
+        let m = 16;
+        let table = identity_table(m);
+        let mut signatures = Vec::new();
+        for group in 0..3u32 {
+            for jitter in 0..4usize {
+                let mut sig = block_signature(m, group * 100);
+                sig[jitter] = 999; // one disagreeing register
+                signatures.push(sig);
+            }
+        }
+        let clustering = k_center(&signatures, 3, &table);
+        assert_eq!(clustering.centroids.len(), 3);
+        // Same-group members share a cluster, different groups do not.
+        for group in 0..3 {
+            let base = clustering.assignment[group * 4];
+            for jitter in 0..4 {
+                assert_eq!(clustering.assignment[group * 4 + jitter], base);
+            }
+        }
+        let mut seen: Vec<usize> = (0..3).map(|g| clustering.assignment[g * 4]).collect();
+        seen.sort_unstable();
+        seen.dedup();
+        assert_eq!(seen.len(), 3);
+        // Tight groups => small radii (1 disagreeing register of 16).
+        for &r in &clustering.radius {
+            assert!(r <= 2.0 / m as f64 + 1e-9, "radius {r} too large");
+        }
+    }
+
+    #[test]
+    fn duplicate_signatures_collapse_to_fewer_clusters() {
+        let m = 8;
+        let table = identity_table(m);
+        let signatures = vec![block_signature(m, 7); 5];
+        let clustering = k_center(&signatures, 4, &table);
+        assert_eq!(clustering.centroids.len(), 1);
+        assert!(clustering.assignment.iter().all(|&c| c == 0));
+        assert_eq!(clustering.radius[0], 0.0);
+    }
+
+    #[test]
+    fn deterministic_for_fixed_input_order() {
+        let m = 8;
+        let table = identity_table(m);
+        let signatures: Vec<Vec<u32>> = (0..20u32)
+            .map(|i| (0..m as u32).map(|r| (i / 7) * 50 + r % (i + 1)).collect())
+            .collect();
+        let a = k_center(&signatures, 4, &table);
+        let b = k_center(&signatures, 4, &table);
+        assert_eq!(a.centroids, b.centroids);
+        assert_eq!(a.assignment, b.assignment);
+    }
+
+    #[test]
+    #[should_panic(expected = "zero signatures")]
+    fn empty_input_panics() {
+        k_center(&[], 2, &identity_table(4));
+    }
+}

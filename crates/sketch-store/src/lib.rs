@@ -134,6 +134,7 @@
 
 #![warn(missing_docs)]
 
+mod ann;
 mod builder;
 mod delta;
 mod error;
@@ -144,6 +145,9 @@ mod store;
 mod tier;
 mod wal;
 
+pub use ann::{
+    ClusteredIndexInfo, IndexStrategy, ProbeStats, DEFAULT_CLUSTERED_RECALL, DEFAULT_FLAT_CUTOVER,
+};
 pub use builder::StoreBuilder;
 pub use delta::{DeltaEntry, StoreDelta};
 pub use error::StoreError;
@@ -153,7 +157,7 @@ pub use pipeline::{
 };
 pub use query::{
     Neighbor, Probe, QueryOptions, SimilarPair, SimilarityIndexInfo, Verification,
-    DEFAULT_RECALL_TARGET, DEFAULT_SIMILARITY_THRESHOLD,
+    DEFAULT_INDEX_CACHE_CAPACITY, DEFAULT_RECALL_TARGET, DEFAULT_SIMILARITY_THRESHOLD,
 };
 pub use snapshot::{SnapshotEntry, StoreSnapshot};
 pub use store::{SketchStore, DEFAULT_SHARDS};

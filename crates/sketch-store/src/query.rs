@@ -41,6 +41,8 @@
 //! falls back to the exhaustive candidate set — same verification, same
 //! results, no pruning.
 
+use crate::ann::index::{ClusteredParams, ClusteredState};
+use crate::ann::{router, ClusteredIndexInfo, IndexStrategy};
 use crate::error::StoreError;
 use crate::store::SketchStore;
 use lsh::{Banding, LshIndex};
@@ -66,12 +68,14 @@ pub const DEFAULT_RECALL_TARGET: f64 = 0.98;
 /// Candidate pairs handed to one worker at a time during verification.
 const VERIFY_CHUNK: usize = 256;
 
-/// Cached index states, one per distinct (threshold, banding-options)
-/// operating point (most recently used first). Bounding the cache keeps
-/// a service that sweeps many thresholds from hoarding band tables;
-/// alternating between a few operating points never re-tunes or
-/// re-bands.
-const MAX_CACHED_INDEXES: usize = 4;
+/// Default bound on cached index states, one per distinct (threshold,
+/// banding-options, strategy) operating point (most recently used
+/// first). Bounding the cache keeps a service that sweeps many
+/// thresholds from hoarding band tables; alternating between a few
+/// operating points never re-tunes or re-bands. Raise it through
+/// [`StoreBuilder::index_cache_capacity`](crate::StoreBuilder::index_cache_capacity)
+/// when a workload legitimately rotates through more operating points.
+pub const DEFAULT_INDEX_CACHE_CAPACITY: usize = 4;
 
 /// How candidate pairs are verified before being reported.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -148,8 +152,14 @@ pub struct QueryOptions {
     /// operating points established by offline analysis. The layout
     /// must fit the family's signature
     /// (`bands · rows ≤ signature_len`). `None` (default) tunes from
-    /// the family's collision bound at the query threshold.
+    /// the family's collision bound at the query threshold. A forced
+    /// layout also forces the flat strategy (per-cluster tuning and a
+    /// fixed global layout are mutually exclusive).
     pub banding: Option<Banding>,
+    /// Which candidate-generation index backs the query (default
+    /// [`IndexStrategy::Flat`]); see [`IndexStrategy::Clustered`] for
+    /// the clustered ANN index.
+    pub index: IndexStrategy,
 }
 
 impl Default for QueryOptions {
@@ -160,6 +170,7 @@ impl Default for QueryOptions {
             probe: Probe::Auto,
             threads: None,
             banding: None,
+            index: IndexStrategy::Flat,
         }
     }
 }
@@ -200,6 +211,19 @@ impl QueryOptions {
         self.banding = Some(banding);
         self
     }
+
+    /// Selects the candidate-generation index strategy.
+    pub fn index(mut self, strategy: IndexStrategy) -> Self {
+        self.index = strategy;
+        self
+    }
+
+    /// Selects the clustered ANN index with every knob at its default
+    /// ([`IndexStrategy::clustered`]).
+    pub fn clustered(mut self) -> Self {
+        self.index = IndexStrategy::clustered();
+        self
+    }
 }
 
 /// One of the store's lazily built, incrementally maintained similarity
@@ -211,8 +235,27 @@ pub(crate) struct SimilarityIndex {
     recall_target: f64,
     /// Explicit layout override the state was built with, if any.
     forced: Option<Banding>,
+    /// Strategy the state was requested under (part of the cache key;
+    /// the backend may lag it across the flat↔clustered cutover).
+    strategy: IndexStrategy,
+    /// The candidate-generation machinery behind this operating point.
+    backend: Backend,
+}
+
+/// The candidate-generation backend of one cached index state. Under
+/// [`IndexStrategy::Clustered`] the backend starts [`Backend::Flat`]
+/// and is promoted once the store clears the strategy's cutover (and
+/// demoted below half of it) — the strategy is a request, the backend
+/// is what currently answers it.
+enum Backend {
+    Flat(FlatIndex),
+    Clustered(Box<ClusteredState>),
+}
+
+/// The original single-banding index over the whole store.
+struct FlatIndex {
     /// The effective layout; `None` when no banding reaches the recall
-    /// target at `threshold` (queries then run exhaustively).
+    /// target at the threshold (queries then run exhaustively).
     banding: Option<Banding>,
     /// The banding index itself (`None` exactly when `banding` is).
     lsh: Option<LshIndex<String>>,
@@ -254,34 +297,65 @@ pub struct Neighbor {
 }
 
 /// Diagnostics of the current similarity index state.
-#[derive(Debug, Clone, Copy, PartialEq)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct SimilarityIndexInfo {
     /// Threshold the index is tuned for.
     pub threshold: f64,
     /// Recall target the banding was tuned to.
     pub recall_target: f64,
-    /// Effective banding, or `None` when queries at this threshold run
-    /// exhaustively.
+    /// Effective global banding, or `None` when queries at this
+    /// threshold run exhaustively — and also `None` for clustered
+    /// states, whose per-cluster layouts are summarized by `clustered`
+    /// instead.
     pub banding: Option<Banding>,
     /// Number of keys currently banded into the index.
     pub indexed_keys: usize,
+    /// Operating points served from the index cache since the store was
+    /// built (across all cached states).
+    pub cache_hits: u64,
+    /// Operating points that had to tune a fresh index state since the
+    /// store was built.
+    pub cache_misses: u64,
+    /// Clustered-backend diagnostics: cluster count, per-cluster key
+    /// histogram and probe counters. `None` while the state answers
+    /// from a flat backend.
+    pub clustered: Option<ClusteredIndexInfo>,
 }
 
 impl<S> SketchStore<S> {
     /// Reports the **most recently used** similarity index state — its
     /// tuned banding and coverage — or `None` if no similarity query
     /// has run yet. (The store caches one state per queried operating
-    /// point, up to a small bound.)
+    /// point, up to [`StoreBuilder::index_cache_capacity`]; the
+    /// `cache_hits` / `cache_misses` counters cover all of them.)
+    ///
+    /// [`StoreBuilder::index_cache_capacity`]: crate::StoreBuilder::index_cache_capacity
     pub fn similarity_index_info(&self) -> Option<SimilarityIndexInfo> {
-        self.similarity
-            .lock()
-            .first()
-            .map(|index| SimilarityIndexInfo {
+        self.similarity.lock().first().map(|index| {
+            let (banding, indexed_keys, clustered) = match &index.backend {
+                Backend::Flat(flat) => (flat.banding, flat.entries.len(), None),
+                Backend::Clustered(state) => (
+                    None,
+                    state.keys.len(),
+                    Some(ClusteredIndexInfo {
+                        clusters: state.clusters.len(),
+                        key_histogram: state.clusters.iter().map(|c| c.members).collect(),
+                        bandings: state.clusters.iter().map(|c| c.banding).collect(),
+                        planned_recalls: state.clusters.iter().map(|c| c.planned_recall).collect(),
+                        probe_stats: state.probe_stats,
+                    }),
+                ),
+            };
+            SimilarityIndexInfo {
                 threshold: index.threshold,
                 recall_target: index.recall_target,
-                banding: index.banding,
-                indexed_keys: index.entries.len(),
-            })
+                banding,
+                indexed_keys,
+                cache_hits: self.index_cache_hits.load(Ordering::Relaxed),
+                cache_misses: self.index_cache_misses.load(Ordering::Relaxed),
+                clustered,
+            }
+        })
     }
 }
 
@@ -385,21 +459,26 @@ where
             let probed = self.with_sketch(key, |sketch| {
                 (sketch.signature(), sketch.ordinal_registers())
             });
-            match (&index.lsh, probed) {
-                (Some(lsh), Some((signature, ordinal))) => {
-                    let multiprobe = match options.probe {
-                        Probe::Auto => ordinal,
-                        Probe::Never => false,
-                        Probe::Always => true,
-                    };
+            let Some((signature, ordinal)) = probed else {
+                return Err(StoreError::KeyNotFound(key.to_owned()));
+            };
+            let multiprobe = match options.probe {
+                Probe::Auto => ordinal,
+                Probe::Never => false,
+                Probe::Always => true,
+            };
+            match &mut index.backend {
+                // `None` means no banding tuned: exhaustive fallback.
+                Backend::Flat(flat) => flat.lsh.as_ref().map(|lsh| {
                     if multiprobe {
-                        Some(lsh.query_multiprobe(&signature))
+                        lsh.query_multiprobe(&signature)
                     } else {
-                        Some(lsh.query(&signature))
+                        lsh.query(&signature)
                     }
-                }
-                (None, Some(_)) => None, // exhaustive fallback
-                (_, None) => return Err(StoreError::KeyNotFound(key.to_owned())),
+                }),
+                Backend::Clustered(state) => Some(router::query_candidates(
+                    state, &signature, threshold, multiprobe,
+                )),
             }
         };
 
@@ -486,7 +565,10 @@ where
             let mut guard = self.similarity.lock();
             let index = self.ensure_index(&mut guard, threshold, options);
             self.refresh_index(index);
-            index.lsh.as_ref().map(|lsh| lsh.candidate_pairs())
+            match &mut index.backend {
+                Backend::Flat(flat) => flat.lsh.as_ref().map(|lsh| lsh.candidate_pairs()),
+                Backend::Clustered(state) => Some(self.clustered_candidate_pairs(state, threshold)),
+            }
         };
 
         let entries = make_entries(self);
@@ -592,7 +674,7 @@ where
     /// empty factory sketch. The curve is a configuration property, so
     /// the table is computed once per store and shared (by `Arc`) with
     /// every approximate-mode query.
-    fn collision_inverse_table(&self) -> std::sync::Arc<[f64]> {
+    pub(crate) fn collision_inverse_table(&self) -> std::sync::Arc<[f64]> {
         self.collision_inverse
             .get_or_init(|| {
                 let probe = self.make_sketch();
@@ -609,70 +691,159 @@ where
     }
 
     /// Returns the cached index state for the operating point
-    /// `(threshold, recall_target, forced banding)`, creating and
-    /// tuning it on first use. States are kept most-recently-used
-    /// first (at most [`MAX_CACHED_INDEXES`]), so callers alternating
-    /// between a few operating points — e.g. `all_pairs(0.7)`
-    /// interleaved with default-threshold `similar_keys` — never tear
-    /// down and re-band the whole index on a threshold switch.
+    /// `(threshold, recall_target, forced banding, strategy)`, creating
+    /// and tuning it on first use. States are kept most-recently-used
+    /// first (at most the builder's
+    /// [`index_cache_capacity`](crate::StoreBuilder::index_cache_capacity)),
+    /// so callers alternating between a few operating points — e.g.
+    /// `all_pairs(0.7)` interleaved with default-threshold
+    /// `similar_keys` — never tear down and re-band the whole index on
+    /// a threshold switch. Recall targets are quantized before
+    /// matching, so values differing only past display precision (0.98
+    /// vs 0.9800001) share one state instead of thrashing the cache.
     fn ensure_index<'a>(
         &self,
         cache: &'a mut Vec<SimilarityIndex>,
         threshold: f64,
         options: &QueryOptions,
     ) -> &'a mut SimilarityIndex {
+        check_strategy(&options.index);
         let matches = |index: &SimilarityIndex| {
             index.threshold == threshold
-                && index.recall_target == options.recall_target
+                && quantize_recall(index.recall_target) == quantize_recall(options.recall_target)
                 && index.forced == options.banding
+                && strategies_match(index.strategy, options.index)
         };
         if let Some(at) = cache.iter().position(matches) {
+            self.index_cache_hits.fetch_add(1, Ordering::Relaxed);
             let index = cache.remove(at);
             cache.insert(0, index);
         } else {
-            // Tune the banding from the family's locality bound at the
-            // threshold, probed on an empty factory sketch (the
-            // collision probability is a configuration property, not a
-            // state one) — unless the caller forced a layout.
-            let probe = self.make_sketch();
-            let banding = match options.banding {
-                Some(banding) => {
-                    assert!(
-                        banding.registers() <= probe.signature_len(),
-                        "forced banding needs {} registers, the signature has {}",
-                        banding.registers(),
-                        probe.signature_len()
-                    );
-                    Some(banding)
-                }
-                None => {
-                    let p = probe.register_collision_probability(threshold);
-                    Banding::tune(probe.signature_len(), p, options.recall_target)
-                }
-            };
-            let lsh = banding.map(|b| {
-                LshIndex::new(b.bands, b.rows).expect("tuned banding has bands, rows >= 1")
-            });
+            self.index_cache_misses.fetch_add(1, Ordering::Relaxed);
+            // Every state starts on the flat backend; the refresh step
+            // promotes clustered-strategy states once the store clears
+            // their cutover (so tiny stores never pay for centroids).
             cache.insert(
                 0,
                 SimilarityIndex {
                     threshold,
                     recall_target: options.recall_target,
                     forced: options.banding,
-                    banding,
-                    lsh,
-                    entries: HashMap::new(),
+                    strategy: options.index,
+                    backend: Backend::Flat(self.flat_backend(
+                        threshold,
+                        options.recall_target,
+                        options.banding,
+                    )),
                 },
             );
-            cache.truncate(MAX_CACHED_INDEXES);
+            cache.truncate(self.index_cache_capacity);
         }
         &mut cache[0]
     }
 
+    /// Tunes a fresh flat backend for an operating point: the banding
+    /// from the family's locality bound at the threshold, probed on an
+    /// empty factory sketch (the collision probability is a
+    /// configuration property, not a state one) — unless the caller
+    /// forced a layout.
+    fn flat_backend(
+        &self,
+        threshold: f64,
+        recall_target: f64,
+        forced: Option<Banding>,
+    ) -> FlatIndex {
+        let probe = self.make_sketch();
+        let banding = match forced {
+            Some(banding) => {
+                assert!(
+                    banding.registers() <= probe.signature_len(),
+                    "forced banding needs {} registers, the signature has {}",
+                    banding.registers(),
+                    probe.signature_len()
+                );
+                Some(banding)
+            }
+            None => {
+                let p = probe.register_collision_probability(threshold);
+                Banding::tune(probe.signature_len(), p, recall_target)
+            }
+        };
+        let lsh = banding
+            .map(|b| LshIndex::new(b.bands, b.rows).expect("tuned banding has bands, rows >= 1"));
+        FlatIndex {
+            banding,
+            lsh,
+            entries: HashMap::new(),
+        }
+    }
+
+    /// Brings a cached index state up to date with the store: applies
+    /// the clustered strategy's cutover hysteresis (promote at
+    /// `flat_cutover` live keys, demote below half of it), then
+    /// incrementally re-bands moved keys — rebuilding the clustered
+    /// state outright when its refresh reports drift.
+    fn refresh_index(&self, index: &mut SimilarityIndex) {
+        if let IndexStrategy::Clustered {
+            memory_budget_bytes,
+            recall_target,
+            clusters,
+            flat_cutover,
+        } = index.strategy
+        {
+            // A forced banding pins the flat backend: per-cluster
+            // tuning and a fixed global layout are mutually exclusive.
+            if index.forced.is_none() {
+                let params = ClusteredParams {
+                    memory_budget_bytes,
+                    routing_recall: recall_target,
+                    clusters,
+                    flat_cutover,
+                };
+                let live = self.len();
+                match &index.backend {
+                    // Promotion additionally requires a tunable global
+                    // banding: at thresholds where no layout reaches
+                    // the recall target (e.g. 0.0) the flat backend's
+                    // exhaustive fallback is already the right answer.
+                    Backend::Flat(flat) if flat.banding.is_some() && live >= flat_cutover => {
+                        index.backend = Backend::Clustered(Box::new(self.build_clustered_state(
+                            index.threshold,
+                            index.recall_target,
+                            params,
+                        )));
+                        return; // freshly built — nothing to refresh
+                    }
+                    Backend::Clustered(_) if live.saturating_mul(2) < flat_cutover => {
+                        index.backend = Backend::Flat(self.flat_backend(
+                            index.threshold,
+                            index.recall_target,
+                            None,
+                        ));
+                        // Fall through: the flat refresh below fills it.
+                    }
+                    _ => {}
+                }
+            }
+        }
+        match &mut index.backend {
+            Backend::Flat(flat) => self.refresh_flat(flat),
+            Backend::Clustered(state) => {
+                if self.refresh_clustered(state) {
+                    let stats = state.probe_stats;
+                    let params = state.params;
+                    **state =
+                        self.build_clustered_state(index.threshold, index.recall_target, params);
+                    state.probe_stats = stats;
+                }
+            }
+        }
+    }
+
     /// Re-bands exactly the keys whose version stamp moved since they
     /// were last indexed, and drops index entries for removed keys.
-    fn refresh_index(&self, index: &mut SimilarityIndex) {
-        let SimilarityIndex { lsh, entries, .. } = index;
+    fn refresh_flat(&self, flat: &mut FlatIndex) {
+        let FlatIndex { lsh, entries, .. } = flat;
         let Some(lsh) = lsh.as_ref() else {
             return; // exhaustive mode: nothing to maintain
         };
@@ -988,6 +1159,62 @@ fn check_recall_target(target: f64) {
         target > 0.0 && target <= 1.0,
         "banding recall target must be within (0, 1], got {target}"
     );
+}
+
+/// Validates the knobs of a clustered strategy request.
+fn check_strategy(strategy: &IndexStrategy) {
+    if let IndexStrategy::Clustered {
+        recall_target,
+        clusters,
+        ..
+    } = strategy
+    {
+        assert!(
+            *recall_target > 0.0 && *recall_target <= 1.0,
+            "clustered routing recall target must be within (0, 1], got {recall_target}"
+        );
+        assert!(
+            clusters.map_or(true, |k| k >= 1),
+            "clustered strategy needs at least one cluster"
+        );
+    }
+}
+
+/// Quantizes a recall target for cache-key matching (micro-recall
+/// units). Recall is a tuning knob, not a precise quantity: exact f64
+/// equality would let two values differing only past display precision
+/// (0.98 vs 0.9800001) alternate into distinct cache slots and re-band
+/// the store on every query.
+fn quantize_recall(target: f64) -> u64 {
+    (target * 1e6).round() as u64
+}
+
+/// Cache-key equality of two strategy requests, with recall targets
+/// compared in quantized form (see [`quantize_recall`]).
+fn strategies_match(a: IndexStrategy, b: IndexStrategy) -> bool {
+    match (a, b) {
+        (IndexStrategy::Flat, IndexStrategy::Flat) => true,
+        (
+            IndexStrategy::Clustered {
+                memory_budget_bytes: budget_a,
+                recall_target: recall_a,
+                clusters: clusters_a,
+                flat_cutover: cutover_a,
+            },
+            IndexStrategy::Clustered {
+                memory_budget_bytes: budget_b,
+                recall_target: recall_b,
+                clusters: clusters_b,
+                flat_cutover: cutover_b,
+            },
+        ) => {
+            budget_a == budget_b
+                && quantize_recall(recall_a) == quantize_recall(recall_b)
+                && clusters_a == clusters_b
+                && cutover_a == cutover_b
+        }
+        _ => false,
+    }
 }
 
 /// The candidate set of a verification run: an explicit pair list (the

@@ -142,6 +142,13 @@ pub struct SketchStore<S> {
     /// maintained incrementally by the similarity query engine (see
     /// [`crate::query`]).
     pub(crate) similarity: Mutex<Vec<SimilarityIndex>>,
+    /// Bound on cached similarity index states ([`StoreBuilder::index_cache_capacity`]).
+    pub(crate) index_cache_capacity: usize,
+    /// Operating points served from the index cache (diagnostics,
+    /// reported by [`similarity_index_info`](Self::similarity_index_info)).
+    pub(crate) index_cache_hits: AtomicU64,
+    /// Operating points that tuned a fresh index state.
+    pub(crate) index_cache_misses: AtomicU64,
     /// Per-key cardinality cache for approximate-mode queries, keyed by
     /// the slot version that produced each figure — a stale version
     /// invalidates the entry, so the cache never needs explicit
@@ -209,8 +216,13 @@ impl<S> SketchStore<S> {
         pipeline_defaults: PipelineDefaults,
         tier_policy: TierPolicy,
         tier_codec: Option<TierCodec<S>>,
+        index_cache_capacity: usize,
     ) -> Self {
         debug_assert!(shards > 0, "builder validates the shard count");
+        debug_assert!(
+            index_cache_capacity > 0,
+            "builder validates the index cache capacity"
+        );
         let shards = (0..shards)
             .map(|_| RwLock::new(HashMap::new()))
             .collect::<Vec<_>>()
@@ -229,6 +241,9 @@ impl<S> SketchStore<S> {
             tier: TierRuntime::new(tier_policy, tier_codec, prototype),
             pipeline_defaults,
             similarity: Mutex::new(Vec::new()),
+            index_cache_capacity,
+            index_cache_hits: AtomicU64::new(0),
+            index_cache_misses: AtomicU64::new(0),
             cardinality_cache: Mutex::new(HashMap::new()),
             collision_inverse: std::sync::OnceLock::new(),
             durability: None,
